@@ -1,0 +1,43 @@
+// Shared configuration for the experiment benches (R1-R9).
+//
+// Every bench uses the same canonical datasets and split seed so numbers are
+// comparable across experiments, and prints through TextTable so the output
+// of `for b in build/bench/*; do $b; done` reads as the paper's tables.
+#pragma once
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "core/pipeline.h"
+#include "trafficgen/datasets.h"
+
+namespace p4iot::bench {
+
+inline gen::DatasetOptions standard_options(std::uint64_t seed = 42) {
+  gen::DatasetOptions options;
+  options.seed = seed;
+  options.duration_s = 120.0;
+  options.benign_devices = 10;
+  options.attack_rate_pps = 40.0;
+  return options;
+}
+
+inline constexpr double kTrainFraction = 0.7;
+inline constexpr std::uint64_t kSplitSeed = 1;
+inline constexpr std::size_t kWindowBytes = 64;
+
+/// The pipeline configuration used throughout the evaluation (k overridable).
+inline core::PipelineConfig standard_pipeline(std::size_t k = 4) {
+  auto config = core::PipelineConfig::with_fields(k);
+  config.stage1.probe.epochs = 12;
+  config.stage1.autoencoder.epochs = 10;
+  return config;
+}
+
+inline std::pair<pkt::Trace, pkt::Trace> split_dataset(const pkt::Trace& trace) {
+  common::Rng rng(kSplitSeed);
+  return trace.split(kTrainFraction, rng);
+}
+
+}  // namespace p4iot::bench

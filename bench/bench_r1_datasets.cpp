@@ -1,0 +1,65 @@
+// R1 (Table): dataset summary — the synthetic stand-ins for the paper's
+// public IoT traces. One row per dataset plus per-attack breakdown.
+#include "bench_common.h"
+
+#include "packet/flow.h"
+
+using namespace p4iot;
+
+int main() {
+  common::TextTable table("R1: Evaluation datasets");
+  table.set_caption(
+      "Synthetic labelled IoT traces (see DESIGN.md S2 for the substitution "
+      "rationale). 120s, 10 benign devices per protocol environment.");
+  table.set_header({"dataset", "link", "packets", "flows", "bytes", "attack%",
+                    "attacks present"});
+
+  for (const auto id : gen::all_datasets()) {
+    const auto trace = gen::make_dataset(id, bench::standard_options());
+    const auto stats = trace.stats();
+
+    pkt::FlowTable flows;
+    for (const auto& p : trace.packets()) flows.observe(p);
+
+    std::string links;
+    switch (id) {
+      case gen::DatasetId::kWifiIp: links = "ethernet"; break;
+      case gen::DatasetId::kZigbee: links = "802.15.4"; break;
+      case gen::DatasetId::kBle: links = "ble"; break;
+      case gen::DatasetId::kMixed: links = "all three"; break;
+    }
+
+    std::string attacks;
+    for (int a = 1; a < pkt::kNumAttackTypes; ++a) {
+      if (stats.per_attack[a] == 0) continue;
+      if (!attacks.empty()) attacks += ", ";
+      attacks += pkt::attack_type_name(static_cast<pkt::AttackType>(a));
+    }
+
+    table.add_row({gen::dataset_name(id), links,
+                   common::TextTable::integer(static_cast<long long>(stats.packets)),
+                   common::TextTable::integer(static_cast<long long>(flows.flow_count())),
+                   common::TextTable::integer(static_cast<long long>(stats.bytes)),
+                   common::TextTable::num(100.0 * stats.attack_fraction(), 1), attacks});
+  }
+  table.print();
+
+  common::TextTable breakdown("R1b: Per-attack packet counts");
+  breakdown.set_header({"dataset", "attack", "packets", "share%"});
+  for (const auto id : gen::all_datasets()) {
+    const auto trace = gen::make_dataset(id, bench::standard_options());
+    const auto stats = trace.stats();
+    for (int a = 1; a < pkt::kNumAttackTypes; ++a) {
+      if (stats.per_attack[a] == 0) continue;
+      breakdown.add_row(
+          {gen::dataset_name(id), pkt::attack_type_name(static_cast<pkt::AttackType>(a)),
+           common::TextTable::integer(static_cast<long long>(stats.per_attack[a])),
+           common::TextTable::num(
+               100.0 * static_cast<double>(stats.per_attack[a]) /
+                   static_cast<double>(stats.packets),
+               1)});
+    }
+  }
+  breakdown.print();
+  return 0;
+}

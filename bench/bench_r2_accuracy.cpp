@@ -1,0 +1,68 @@
+// R2 (Table): detection quality of the two-stage pipeline (k=4 fields)
+// against the baseline suite, per protocol environment.
+//
+// Expected shape (DESIGN.md): two-stage within a few points of the
+// full-byte models everywhere; the fixed 5-tuple baseline competitive on
+// Wi-Fi/IP but collapsing on the non-IP protocols.
+#include "bench_common.h"
+
+#include "core/evaluation.h"
+#include "ml/dataset.h"
+#include "ml/flow_baseline.h"
+
+using namespace p4iot;
+
+int main() {
+  common::TextTable table("R2: Detection quality per protocol (test split)");
+  table.set_caption("two-stage uses k=4 selected fields; baselines see all 64 header bytes "
+                    "(fixed-5tuple sees only the OpenFlow byte columns).");
+  table.set_header({"dataset", "method", "accuracy", "precision", "recall", "f1", "auc"});
+
+  for (const auto id : gen::all_datasets()) {
+    const auto trace = gen::make_dataset(id, bench::standard_options());
+    const auto [train, test] = bench::split_dataset(trace);
+
+    // Our method.
+    core::TwoStagePipeline pipeline(bench::standard_pipeline(4));
+    pipeline.fit(train);
+    const auto ours = core::evaluate_pipeline(pipeline, test);
+    std::vector<double> scores;
+    std::vector<int> labels;
+    for (const auto& p : test.packets()) {
+      scores.push_back(pipeline.score(p));
+      labels.push_back(p.label());
+    }
+    table.add_row({gen::dataset_name(id), "two-stage (ours)",
+                   common::TextTable::num(ours.accuracy()),
+                   common::TextTable::num(ours.precision()),
+                   common::TextTable::num(ours.recall()),
+                   common::TextTable::num(ours.f1()),
+                   common::TextTable::num(common::roc_auc(scores, labels))});
+
+    // Baselines.
+    const auto train_bytes = ml::bytes_dataset(train, bench::kWindowBytes);
+    for (const auto& clf : core::make_baseline_suite()) {
+      clf->fit(train_bytes);
+      const auto cm = core::evaluate_classifier(*clf, test, bench::kWindowBytes);
+      const double auc = core::classifier_auc(*clf, test, bench::kWindowBytes);
+      table.add_row({gen::dataset_name(id), clf->name(),
+                     common::TextTable::num(cm.accuracy()),
+                     common::TextTable::num(cm.precision()),
+                     common::TextTable::num(cm.recall()),
+                     common::TextTable::num(cm.f1()),
+                     common::TextTable::num(auc)});
+    }
+
+    // Flow-statistics baseline (flow state, not byte windows).
+    ml::FlowBaseline flow_baseline;
+    flow_baseline.fit(train);
+    const auto flow_cm = ml::evaluate_flow_baseline(flow_baseline, test);
+    table.add_row({gen::dataset_name(id), flow_baseline.name(),
+                   common::TextTable::num(flow_cm.accuracy()),
+                   common::TextTable::num(flow_cm.precision()),
+                   common::TextTable::num(flow_cm.recall()),
+                   common::TextTable::num(flow_cm.f1()), "-"});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// R4 (Figure): rule-table cost.
+//
+//  (a) accuracy vs TCAM entry budget — how small can the table get;
+//  (b) entries/accuracy vs stage-2 tree depth cap;
+//  (c) TCAM width: selected fields vs matching the whole header window.
+//
+// Expected shape: accuracy saturates at a modest budget; the two-stage key
+// is an order of magnitude narrower than whole-window matching.
+#include "bench_common.h"
+
+#include "core/evaluation.h"
+
+using namespace p4iot;
+
+int main() {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, bench::standard_options());
+  const auto [train, test] = bench::split_dataset(trace);
+
+  common::TextTable budget_table("R4a: Accuracy vs TCAM entry budget (wifi_ip, k=4)");
+  budget_table.set_header({"max_entries", "entries_used", "accuracy", "recall", "f1",
+                           "tcam_bits"});
+  for (const std::size_t budget : {8u, 16u, 32u, 64u, 128u, 256u, 512u}) {
+    auto config = bench::standard_pipeline(4);
+    config.stage2.max_entries = budget;
+    core::TwoStagePipeline pipeline(config);
+    pipeline.fit(train);
+    const auto cm = core::evaluate_pipeline(pipeline, test);
+    budget_table.add_row(
+        {common::TextTable::integer(static_cast<long long>(budget)),
+         common::TextTable::integer(static_cast<long long>(pipeline.rules().entries.size())),
+         common::TextTable::num(cm.accuracy()), common::TextTable::num(cm.recall()),
+         common::TextTable::num(cm.f1()),
+         common::TextTable::integer(static_cast<long long>(pipeline.rules().tcam_bits))});
+  }
+  budget_table.print();
+
+  common::TextTable depth_table("R4b: Rule count vs stage-2 tree depth cap (wifi_ip, k=4)");
+  depth_table.set_header({"max_depth", "tree_leaves", "attack_paths", "entries",
+                          "accuracy", "f1"});
+  for (const int depth : {1, 2, 3, 4, 6, 8, 10}) {
+    auto config = bench::standard_pipeline(4);
+    config.stage2.tree.max_depth = depth;
+    core::TwoStagePipeline pipeline(config);
+    pipeline.fit(train);
+    const auto cm = core::evaluate_pipeline(pipeline, test);
+    depth_table.add_row(
+        {common::TextTable::integer(depth),
+         common::TextTable::integer(
+             static_cast<long long>(pipeline.rules().tree.leaf_count())),
+         common::TextTable::integer(static_cast<long long>(pipeline.rules().paths.size())),
+         common::TextTable::integer(static_cast<long long>(pipeline.rules().entries.size())),
+         common::TextTable::num(cm.accuracy()), common::TextTable::num(cm.f1())});
+  }
+  depth_table.print();
+
+  common::TextTable width_table("R4c: TCAM key width — selected fields vs whole window");
+  width_table.set_header({"approach", "key_bits", "relative"});
+  core::TwoStagePipeline pipeline(bench::standard_pipeline(4));
+  pipeline.fit(train);
+  std::size_t key_bits = 0;
+  for (const auto& key : pipeline.rules().program.keys) key_bits += key.field.bit_width();
+  const std::size_t window_bits = bench::kWindowBytes * 8;
+  width_table.add_row({"two-stage selected fields",
+                       common::TextTable::integer(static_cast<long long>(key_bits)), "1x"});
+  width_table.add_row(
+      {"whole header window", common::TextTable::integer(static_cast<long long>(window_bits)),
+       common::TextTable::num(static_cast<double>(window_bits) /
+                                  static_cast<double>(key_bits),
+                              1) +
+           "x"});
+  width_table.print();
+  return 0;
+}

@@ -1,0 +1,42 @@
+// R7 (Figure): training / rule-generation time vs trace size.
+//
+// Expected shape: stage 1 (NN training) dominates and grows linearly in
+// packets; stage 2 (tree + compilation) stays cheap — rule regeneration at
+// the controller is fast enough for the online loop of R8.
+#include "bench_common.h"
+
+#include "common/csv.h"
+#include "common/stopwatch.h"
+
+using namespace p4iot;
+
+int main() {
+  common::TextTable table("R7: Pipeline fit time vs training-trace size (wifi_ip, k=4)");
+  table.set_header({"packets", "stage1_s", "stage2_s", "total_s", "entries"});
+  common::CsvWriter csv;
+  csv.set_header({"packets", "stage1_s", "stage2_s", "total_s"});
+
+  for (const double duration : {10.0, 30.0, 60.0, 120.0, 240.0, 480.0}) {
+    auto options = bench::standard_options();
+    options.duration_s = duration;
+    const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, options);
+
+    core::TwoStagePipeline pipeline(bench::standard_pipeline(4));
+    pipeline.fit(trace);
+    const auto& t = pipeline.timings();
+
+    table.add_row({common::TextTable::integer(static_cast<long long>(trace.size())),
+                   common::TextTable::num(t.stage1_seconds, 3),
+                   common::TextTable::num(t.stage2_seconds, 3),
+                   common::TextTable::num(t.total_seconds, 3),
+                   common::TextTable::integer(
+                       static_cast<long long>(pipeline.rules().entries.size()))});
+    csv.add_row({std::to_string(trace.size()), common::TextTable::num(t.stage1_seconds, 4),
+                 common::TextTable::num(t.stage2_seconds, 4),
+                 common::TextTable::num(t.total_seconds, 4)});
+  }
+  table.print();
+  if (csv.write_file("r7_train_time.csv"))
+    std::printf("series written to r7_train_time.csv\n");
+  return 0;
+}

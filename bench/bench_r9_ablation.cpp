@@ -1,0 +1,74 @@
+// R9 (Ablation): the design choices DESIGN.md §5 calls out, each toggled
+// independently against the default configuration.
+//
+//   saliency source   combined vs gradient-only vs autoencoder-only
+//   MI gate           on vs off (memorization-prone byte damping)
+//   field grouping    adjacent-byte merging on vs off
+//   expansion         exact prefix cover vs single widened prefix
+//   rule validation   held-out precision/evidence filtering on vs off
+//   fail mode         fail-open vs fail-closed default action
+#include "bench_common.h"
+
+#include <functional>
+
+#include "core/evaluation.h"
+
+using namespace p4iot;
+
+namespace {
+
+struct Variant {
+  std::string name;
+  std::function<void(core::PipelineConfig&)> apply;
+};
+
+}  // namespace
+
+int main() {
+  common::TextTable table("R9: Design-choice ablations (wifi_ip + zigbee, k=4)");
+  table.set_header({"dataset", "variant", "accuracy", "recall", "f1", "fpr", "entries"});
+
+  const std::vector<Variant> variants = {
+      {"default (combined, gated, grouped, exact, validated)", [](auto&) {}},
+      {"saliency: gradient-only",
+       [](core::PipelineConfig& c) {
+         c.stage1.source = core::SaliencySource::kGradientOnly;
+       }},
+      {"saliency: autoencoder-only",
+       [](core::PipelineConfig& c) {
+         c.stage1.source = core::SaliencySource::kAutoencoderOnly;
+       }},
+      {"no MI gate", [](core::PipelineConfig& c) { c.stage1.mi_gate = false; }},
+      {"no field grouping",
+       [](core::PipelineConfig& c) { c.stage1.group_adjacent = false; }},
+      {"widened-prefix expansion",
+       [](core::PipelineConfig& c) {
+         c.stage2.expansion = core::ExpansionStrategy::kWidenedPrefix;
+       }},
+      {"no rule validation",
+       [](core::PipelineConfig& c) { c.stage2.min_rule_precision = 0.0; }},
+      {"fail-closed default",
+       [](core::PipelineConfig& c) { c.stage2.fail_closed = true; }},
+  };
+
+  for (const auto id : {gen::DatasetId::kWifiIp, gen::DatasetId::kZigbee}) {
+    const auto trace = gen::make_dataset(id, bench::standard_options());
+    const auto [train, test] = bench::split_dataset(trace);
+
+    for (const auto& variant : variants) {
+      auto config = bench::standard_pipeline(4);
+      variant.apply(config);
+      core::TwoStagePipeline pipeline(config);
+      pipeline.fit(train);
+      const auto cm = core::evaluate_pipeline(pipeline, test);
+      table.add_row(
+          {gen::dataset_name(id), variant.name, common::TextTable::num(cm.accuracy()),
+           common::TextTable::num(cm.recall()), common::TextTable::num(cm.f1()),
+           common::TextTable::num(cm.false_positive_rate()),
+           common::TextTable::integer(
+               static_cast<long long>(pipeline.rules().entries.size()))});
+    }
+  }
+  table.print();
+  return 0;
+}

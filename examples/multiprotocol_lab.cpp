@@ -1,0 +1,61 @@
+// Multi-protocol lab: one method, three radio technologies.
+//
+// Trains the two-stage pipeline separately on Wi-Fi/IP, Zigbee and BLE
+// traffic, shows that stage 1 discovers *different* protocol fields for
+// each (without being told the protocol), and writes the generated P4
+// programs + table entries to ./p4out/ for inspection.
+//
+//   $ ./multiprotocol_lab
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "packet/dissect.h"
+#include "trafficgen/datasets.h"
+
+int main() {
+  using namespace p4iot;
+  namespace fs = std::filesystem;
+
+  const fs::path out_dir = "p4out";
+  std::error_code ec;
+  fs::create_directories(out_dir, ec);
+
+  for (const auto id : {gen::DatasetId::kWifiIp, gen::DatasetId::kZigbee,
+                        gen::DatasetId::kBle}) {
+    gen::DatasetOptions options;
+    options.seed = 33;
+    options.duration_s = 90.0;
+    const auto trace = gen::make_dataset(id, options);
+    common::Rng rng(2);
+    const auto [train, test] = trace.split(0.7, rng);
+
+    core::TwoStagePipeline pipeline(core::PipelineConfig::with_fields(4));
+    pipeline.fit(train);
+    const auto cm = core::evaluate_pipeline(pipeline, test);
+
+    std::printf("== %s ==\n", gen::dataset_name(id));
+    std::printf("  %zu packets, detection: %s\n", trace.size(), cm.summary().c_str());
+    std::printf("  stage-1 fields (found from raw bytes, named by the dissector):\n");
+    const pkt::Packet& sample = test.packets().front();
+    for (const auto& field : pipeline.selection().fields) {
+      std::printf("    byte %2zu..%2zu  %-24s saliency %.4f\n", field.offset,
+                  field.offset + field.width - 1,
+                  pkt::field_name_at(sample.link, sample.view(), field.offset).c_str(),
+                  field.saliency);
+    }
+
+    const fs::path p4_path = out_dir / (std::string(gen::dataset_name(id)) + ".p4");
+    const fs::path cli_path = out_dir / (std::string(gen::dataset_name(id)) + "_rules.txt");
+    std::ofstream(p4_path) << pipeline.p4_source();
+    std::ofstream(cli_path) << pipeline.runtime_commands();
+    std::printf("  wrote %s (%zu rules in %s)\n\n", p4_path.c_str(),
+                pipeline.rules().entries.size(), cli_path.c_str());
+  }
+
+  std::printf("Same pipeline, zero protocol-specific code: inspect ./p4out/*.p4 to see\n"
+              "the parsers extracting different offsets per technology.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Stealth-flood defense: composing learned header rules with the stateful
+// rate guard.
+//
+// A compromised sensor floods its own cloud endpoint with requests that are
+// byte-identical to its normal polls — header rules (and any per-packet
+// classifier) are blind by construction. The rate guard counts per
+// (source, service) in a count-min sketch over P4-style registers and clips
+// the flood in the data plane, leaving the sensor's normal traffic intact.
+//
+//   $ ./stealth_flood_defense
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "p4/codegen.h"
+#include "p4/rate_guard.h"
+#include "trafficgen/wifi_gen.h"
+
+int main() {
+  using namespace p4iot;
+
+  // Train on known attacks only: the stealth flood is a zero-day.
+  gen::ScenarioConfig train_config;
+  train_config.seed = 3;
+  train_config.duration_s = 90.0;
+  train_config.benign_devices = 10;
+  train_config.attacks = {{pkt::AttackType::kSynFlood, 10.0, 50.0, 40.0}};
+  core::TwoStagePipeline pipeline(core::PipelineConfig::with_fields(4));
+  pipeline.fit(gen::generate_wifi_trace(train_config));
+
+  // Live traffic: the zero-day stealth flood from a compromised sensor.
+  gen::ScenarioConfig live_config;
+  live_config.seed = 4;
+  live_config.duration_s = 120.0;
+  live_config.benign_devices = 10;
+  live_config.attacks = {{pkt::AttackType::kCoapFlood, 40.0, 100.0, 60.0}};
+  const auto live = gen::generate_wifi_trace(live_config);
+  std::printf("live traffic: %zu packets, %.1f%% is a flood the rules have "
+              "never seen\n\n",
+              live.size(), 100.0 * live.stats().attack_fraction());
+
+  auto report = [&](p4::P4Switch& sw, const char* label) {
+    std::size_t attacks = 0, caught = 0, benign = 0, collateral = 0;
+    for (const auto& p : live.packets()) {
+      const bool dropped = sw.process(p).action == p4::ActionOp::kDrop;
+      if (p.is_attack()) {
+        ++attacks;
+        caught += dropped ? 1 : 0;
+      } else {
+        ++benign;
+        collateral += dropped ? 1 : 0;
+      }
+    }
+    std::printf("%-28s flood blocked %5.1f%%   benign lost %5.2f%%\n", label,
+                100.0 * static_cast<double>(caught) / static_cast<double>(attacks),
+                100.0 * static_cast<double>(collateral) / static_cast<double>(benign));
+  };
+
+  // Header rules alone.
+  auto plain = pipeline.make_switch();
+  report(plain, "header rules only:");
+
+  // Header rules + rate guard on (source, service).
+  p4::RateGuardSpec guard;
+  guard.key_fields = {p4::FieldRef{"ipv4_src", 26, 4},
+                      p4::FieldRef{"udp_dst_port", 36, 2}};
+  guard.threshold = 150;
+  guard.epoch_seconds = 1.0;
+  guard.sketch.width = 2048;
+
+  auto guarded = pipeline.make_switch();
+  guarded.set_rate_guard(guard);
+  report(guarded, "+ rate guard (150 pps):");
+
+  std::printf("\nguard state: tripped %llu times, %zu register bits\n",
+              static_cast<unsigned long long>(guarded.rate_guard()->tripped_count()),
+              guarded.rate_guard()->sketch().register_bits());
+
+  // The generated P4 now contains the register-based sketch stage.
+  const std::string src = p4::generate_p4_source(pipeline.rules().program, &guard);
+  std::printf("\ngenerated P4 stateful stage (excerpt):\n");
+  const auto pos = src.find("// Stateful rate guard");
+  std::size_t shown = pos, lines = 0;
+  while (shown != std::string::npos && shown < src.size() && lines < 8) {
+    const auto eol = src.find('\n', shown);
+    std::printf("  %.*s\n", static_cast<int>(eol - shown), src.c_str() + shown);
+    shown = eol + 1;
+    ++lines;
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+#include "common/bytes.h"
+
+#include <array>
+#include <cctype>
+
+namespace p4iot::common {
+
+std::uint16_t read_be16(std::span<const std::uint8_t> buf, std::size_t offset) noexcept {
+  if (offset + 2 > buf.size()) return 0;
+  return static_cast<std::uint16_t>((buf[offset] << 8) | buf[offset + 1]);
+}
+
+std::uint32_t read_be32(std::span<const std::uint8_t> buf, std::size_t offset) noexcept {
+  if (offset + 4 > buf.size()) return 0;
+  return (static_cast<std::uint32_t>(buf[offset]) << 24) |
+         (static_cast<std::uint32_t>(buf[offset + 1]) << 16) |
+         (static_cast<std::uint32_t>(buf[offset + 2]) << 8) |
+         static_cast<std::uint32_t>(buf[offset + 3]);
+}
+
+std::uint64_t read_be64(std::span<const std::uint8_t> buf, std::size_t offset) noexcept {
+  if (offset + 8 > buf.size()) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < 8; ++i) v = (v << 8) | buf[offset + i];
+  return v;
+}
+
+std::uint64_t read_be(std::span<const std::uint8_t> buf, std::size_t offset,
+                      std::size_t width) noexcept {
+  if (width == 0 || width > 8 || offset + width > buf.size()) return 0;
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) v = (v << 8) | buf[offset + i];
+  return v;
+}
+
+void append_u8(ByteBuffer& buf, std::uint8_t v) { buf.push_back(v); }
+
+void append_be16(ByteBuffer& buf, std::uint16_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be32(ByteBuffer& buf, std::uint32_t v) {
+  buf.push_back(static_cast<std::uint8_t>(v >> 24));
+  buf.push_back(static_cast<std::uint8_t>(v >> 16));
+  buf.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_be64(ByteBuffer& buf, std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8)
+    buf.push_back(static_cast<std::uint8_t>(v >> shift));
+}
+
+void append_bytes(ByteBuffer& buf, std::span<const std::uint8_t> bytes) {
+  buf.insert(buf.end(), bytes.begin(), bytes.end());
+}
+
+void write_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) noexcept {
+  if (offset + 2 > buf.size()) return;
+  buf[offset] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 1] = static_cast<std::uint8_t>(v);
+}
+
+void write_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v) noexcept {
+  if (offset + 4 > buf.size()) return;
+  buf[offset] = static_cast<std::uint8_t>(v >> 24);
+  buf[offset + 1] = static_cast<std::uint8_t>(v >> 16);
+  buf[offset + 2] = static_cast<std::uint8_t>(v >> 8);
+  buf[offset + 3] = static_cast<std::uint8_t>(v);
+}
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int hex_value(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> buf, char sep) {
+  std::string out;
+  out.reserve(buf.size() * (sep ? 3 : 2));
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    if (sep && i > 0) out.push_back(sep);
+    out.push_back(kHexDigits[buf[i] >> 4]);
+    out.push_back(kHexDigits[buf[i] & 0xf]);
+  }
+  return out;
+}
+
+std::string hex_dump(std::span<const std::uint8_t> buf) {
+  std::string out;
+  for (std::size_t row = 0; row < buf.size(); row += 16) {
+    char off[24];
+    std::snprintf(off, sizeof off, "%04zx  ", row);
+    out += off;
+    for (std::size_t i = 0; i < 16; ++i) {
+      if (row + i < buf.size()) {
+        out.push_back(kHexDigits[buf[row + i] >> 4]);
+        out.push_back(kHexDigits[buf[row + i] & 0xf]);
+        out.push_back(' ');
+      } else {
+        out += "   ";
+      }
+      if (i == 7) out.push_back(' ');
+    }
+    out += " |";
+    for (std::size_t i = 0; i < 16 && row + i < buf.size(); ++i) {
+      const char c = static_cast<char>(buf[row + i]);
+      out.push_back(std::isprint(static_cast<unsigned char>(c)) ? c : '.');
+    }
+    out += "|\n";
+  }
+  return out;
+}
+
+ByteBuffer from_hex(std::string_view hex) {
+  ByteBuffer out;
+  int hi = -1;
+  for (char c : hex) {
+    if (c == ':' || c == ' ') continue;
+    const int v = hex_value(c);
+    if (v < 0) return {};
+    if (hi < 0) {
+      hi = v;
+    } else {
+      out.push_back(static_cast<std::uint8_t>((hi << 4) | v));
+      hi = -1;
+    }
+  }
+  if (hi >= 0) return {};  // odd digit count
+  return out;
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> buf) noexcept {
+  std::uint32_t sum = 0;
+  std::size_t i = 0;
+  for (; i + 1 < buf.size(); i += 2) sum += (buf[i] << 8) | buf[i + 1];
+  if (i < buf.size()) sum += buf[i] << 8;
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+}  // namespace p4iot::common

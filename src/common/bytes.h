@@ -1,0 +1,50 @@
+// Byte-buffer helpers: big-endian field access and hex formatting.
+//
+// Network headers are big-endian; all multi-byte reads/writes here are
+// network byte order unless the name says otherwise.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p4iot::common {
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+/// Read big-endian unsigned integers. Out-of-range reads return 0 — callers
+/// that need to distinguish truncation should bounds-check first.
+std::uint16_t read_be16(std::span<const std::uint8_t> buf, std::size_t offset) noexcept;
+std::uint32_t read_be32(std::span<const std::uint8_t> buf, std::size_t offset) noexcept;
+std::uint64_t read_be64(std::span<const std::uint8_t> buf, std::size_t offset) noexcept;
+
+/// Read an arbitrary-width (1..8 byte) big-endian unsigned integer.
+std::uint64_t read_be(std::span<const std::uint8_t> buf, std::size_t offset,
+                      std::size_t width) noexcept;
+
+/// Append big-endian encodings to a buffer (builder style).
+void append_u8(ByteBuffer& buf, std::uint8_t v);
+void append_be16(ByteBuffer& buf, std::uint16_t v);
+void append_be32(ByteBuffer& buf, std::uint32_t v);
+void append_be64(ByteBuffer& buf, std::uint64_t v);
+void append_bytes(ByteBuffer& buf, std::span<const std::uint8_t> bytes);
+
+/// Overwrite big-endian values in place; silently ignores out-of-range writes.
+void write_be16(std::span<std::uint8_t> buf, std::size_t offset, std::uint16_t v) noexcept;
+void write_be32(std::span<std::uint8_t> buf, std::size_t offset, std::uint32_t v) noexcept;
+
+/// "de:ad:be:ef" style hex with separator, or contiguous when sep == '\0'.
+std::string to_hex(std::span<const std::uint8_t> buf, char sep = '\0');
+
+/// Classic 16-bytes-per-row hex dump with offsets, for debugging.
+std::string hex_dump(std::span<const std::uint8_t> buf);
+
+/// Parse contiguous or ':'-separated hex; returns empty on malformed input.
+ByteBuffer from_hex(std::string_view hex);
+
+/// Internet checksum (RFC 1071) over a byte range.
+std::uint16_t internet_checksum(std::span<const std::uint8_t> buf) noexcept;
+
+}  // namespace p4iot::common

@@ -1,0 +1,47 @@
+#include "common/csv.h"
+
+#include <cstdio>
+
+namespace p4iot::common {
+
+void CsvWriter::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+void CsvWriter::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+void CsvWriter::append_cell(std::string& out, const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) {
+    out += cell;
+    return;
+  }
+  out += '"';
+  for (char c : cell) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+}
+
+std::string CsvWriter::render() const {
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out += ',';
+      append_cell(out, row[i]);
+    }
+    out += '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return out;
+}
+
+bool CsvWriter::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  const std::string s = render();
+  const bool ok = std::fwrite(s.data(), 1, s.size(), f) == s.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace p4iot::common

@@ -1,0 +1,26 @@
+// CSV emission for bench series (so figures can be re-plotted externally).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace p4iot::common {
+
+/// Accumulates rows and writes an RFC-4180-ish CSV file (quotes cells that
+/// contain comma/quote/newline). Write errors are reported via return value.
+class CsvWriter {
+ public:
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  std::string render() const;
+  /// Returns false if the file could not be written.
+  bool write_file(const std::string& path) const;
+
+ private:
+  static void append_cell(std::string& out, const std::string& cell);
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p4iot::common

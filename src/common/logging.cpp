@@ -1,0 +1,43 @@
+#include "common/logging.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace p4iot::common {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+}
+
+void set_log_level(LogLevel level) noexcept { g_level = level; }
+LogLevel log_level() noexcept { return g_level; }
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+void log_message(LogLevel level, std::string_view component, std::string_view message) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
+               static_cast<int>(component.size()), component.data(),
+               static_cast<int>(message.size()), message.data());
+}
+
+void logf(LogLevel level, std::string_view component, const char* fmt, ...) {
+  if (level < g_level) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  log_message(level, component, buf);
+}
+
+}  // namespace p4iot::common

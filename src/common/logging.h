@@ -1,0 +1,37 @@
+// Minimal leveled logger writing to stderr.
+//
+// The library itself logs sparingly (warnings and controller events); benches
+// and examples raise the level for progress output. Not thread-safe by design
+// — the simulator is single-threaded; revisit if that changes.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace p4iot::common {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide minimum level. Defaults to kWarn so tests stay quiet.
+void set_log_level(LogLevel level) noexcept;
+LogLevel log_level() noexcept;
+
+/// Core sink; prefer the LOG_* helpers below.
+void log_message(LogLevel level, std::string_view component, std::string_view message);
+
+/// printf-style convenience wrapper.
+void logf(LogLevel level, std::string_view component, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+const char* log_level_name(LogLevel level) noexcept;
+
+}  // namespace p4iot::common
+
+#define P4IOT_LOG_DEBUG(component, ...) \
+  ::p4iot::common::logf(::p4iot::common::LogLevel::kDebug, component, __VA_ARGS__)
+#define P4IOT_LOG_INFO(component, ...) \
+  ::p4iot::common::logf(::p4iot::common::LogLevel::kInfo, component, __VA_ARGS__)
+#define P4IOT_LOG_WARN(component, ...) \
+  ::p4iot::common::logf(::p4iot::common::LogLevel::kWarn, component, __VA_ARGS__)
+#define P4IOT_LOG_ERROR(component, ...) \
+  ::p4iot::common::logf(::p4iot::common::LogLevel::kError, component, __VA_ARGS__)

@@ -1,0 +1,112 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace p4iot::common {
+
+double ConfusionMatrix::accuracy() const noexcept {
+  const auto n = total();
+  return n ? static_cast<double>(tp + tn) / static_cast<double>(n) : 0.0;
+}
+
+double ConfusionMatrix::precision() const noexcept {
+  const auto denom = tp + fp;
+  return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 1.0;
+}
+
+double ConfusionMatrix::recall() const noexcept {
+  const auto denom = tp + fn;
+  return denom ? static_cast<double>(tp) / static_cast<double>(denom) : 1.0;
+}
+
+double ConfusionMatrix::f1() const noexcept {
+  const double p = precision();
+  const double r = recall();
+  return (p + r) > 0 ? 2.0 * p * r / (p + r) : 0.0;
+}
+
+double ConfusionMatrix::false_positive_rate() const noexcept {
+  const auto denom = fp + tn;
+  return denom ? static_cast<double>(fp) / static_cast<double>(denom) : 0.0;
+}
+
+double ConfusionMatrix::false_negative_rate() const noexcept {
+  const auto denom = fn + tp;
+  return denom ? static_cast<double>(fn) / static_cast<double>(denom) : 0.0;
+}
+
+std::string ConfusionMatrix::summary() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "acc=%.4f prec=%.4f rec=%.4f f1=%.4f fpr=%.4f (n=%llu)",
+                accuracy(), precision(), recall(), f1(), false_positive_rate(),
+                static_cast<unsigned long long>(total()));
+  return buf;
+}
+
+double roc_auc(std::span<const double> scores, std::span<const int> labels) {
+  const std::size_t n = std::min(scores.size(), labels.size());
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t a, std::size_t b) { return scores[a] < scores[b]; });
+
+  // Rank-sum with midranks for ties.
+  double rank_sum_pos = 0.0;
+  std::size_t n_pos = 0, n_neg = 0;
+  std::size_t i = 0;
+  while (i < n) {
+    std::size_t j = i;
+    while (j < n && scores[order[j]] == scores[order[i]]) ++j;
+    const double midrank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (labels[order[k]] != 0) {
+        rank_sum_pos += midrank;
+        ++n_pos;
+      } else {
+        ++n_neg;
+      }
+    }
+    i = j;
+  }
+  if (n_pos == 0 || n_neg == 0) return 0.5;
+  const double u = rank_sum_pos - static_cast<double>(n_pos) * (n_pos + 1) / 2.0;
+  return u / (static_cast<double>(n_pos) * static_cast<double>(n_neg));
+}
+
+ConfusionMatrix evaluate_predictions(std::span<const int> predicted,
+                                     std::span<const int> labels) {
+  ConfusionMatrix cm;
+  const std::size_t n = std::min(predicted.size(), labels.size());
+  for (std::size_t i = 0; i < n; ++i) cm.add(labels[i] != 0, predicted[i] != 0);
+  return cm;
+}
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double percentile(std::vector<double> values, double pct) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double idx = pct / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(idx);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = idx - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace p4iot::common

@@ -1,0 +1,74 @@
+// Binary-classification quality metrics shared by every detector in the repo.
+//
+// Convention: label 1 / "positive" = attack traffic, label 0 = benign.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace p4iot::common {
+
+/// 2x2 confusion matrix accumulated one prediction at a time.
+struct ConfusionMatrix {
+  std::uint64_t tp = 0;  ///< attack predicted attack
+  std::uint64_t tn = 0;  ///< benign predicted benign
+  std::uint64_t fp = 0;  ///< benign predicted attack
+  std::uint64_t fn = 0;  ///< attack predicted benign
+
+  void add(bool truth_attack, bool predicted_attack) noexcept {
+    if (truth_attack) {
+      predicted_attack ? ++tp : ++fn;
+    } else {
+      predicted_attack ? ++fp : ++tn;
+    }
+  }
+
+  void merge(const ConfusionMatrix& other) noexcept {
+    tp += other.tp; tn += other.tn; fp += other.fp; fn += other.fn;
+  }
+
+  std::uint64_t total() const noexcept { return tp + tn + fp + fn; }
+
+  double accuracy() const noexcept;
+  double precision() const noexcept;  ///< tp / (tp + fp); 1.0 when no positives predicted
+  double recall() const noexcept;     ///< tp / (tp + fn); a.k.a. detection rate
+  double f1() const noexcept;
+  double false_positive_rate() const noexcept;  ///< fp / (fp + tn)
+  double false_negative_rate() const noexcept;  ///< fn / (fn + tp)
+
+  std::string summary() const;  ///< one-line "acc=.. prec=.. rec=.. f1=.."
+};
+
+/// Area under the ROC curve from per-sample scores (higher score = more
+/// attack-like). Ties handled by the rank-sum (Mann-Whitney) formulation.
+/// Returns 0.5 when either class is absent.
+double roc_auc(std::span<const double> scores, std::span<const int> labels);
+
+/// Evaluate hard predictions against labels.
+ConfusionMatrix evaluate_predictions(std::span<const int> predicted,
+                                     std::span<const int> labels);
+
+/// Simple running mean / variance / min / max accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  double variance() const noexcept { return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0; }
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0, m2_ = 0.0;
+  double min_ = 0.0, max_ = 0.0;
+};
+
+/// Percentile from an unsorted sample (copies + sorts; fine for bench sizes).
+double percentile(std::vector<double> values, double pct);
+
+}  // namespace p4iot::common

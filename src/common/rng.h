@@ -1,0 +1,148 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the library takes an explicit seed and owns
+// its own Rng instance, so experiments are reproducible bit-for-bit and
+// independent components never perturb each other's streams.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <span>
+
+namespace p4iot::common {
+
+/// xoshiro256** by Blackman & Vigna, seeded via SplitMix64.
+/// Small, fast and statistically strong enough for simulation workloads;
+/// NOT suitable for cryptographic use.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+  void reseed(std::uint64_t seed) noexcept {
+    // SplitMix64 to spread a (possibly low-entropy) seed across the state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform over [0, 2^64).
+  std::uint64_t next_u64() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform over [0, bound). bound == 0 yields 0.
+  std::uint64_t next_below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Lemire's multiply-shift rejection method (unbiased).
+    std::uint64_t x = next_u64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = next_u64();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto range = static_cast<std::uint64_t>(hi - lo);
+    return lo + static_cast<std::int64_t>(next_below(range + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (one value per call; simple over fast).
+  double normal() noexcept {
+    double u1 = uniform();
+    while (u1 <= 1e-300) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept { return mean + stddev * normal(); }
+
+  /// Exponential with given rate (lambda). Used for inter-arrival times.
+  double exponential(double rate) noexcept {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return -std::log(u) / rate;
+  }
+
+  /// Pareto (heavy-tailed) with scale xm and shape alpha. Used for burst sizes.
+  double pareto(double xm, double alpha) noexcept {
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Geometric: number of failures before first success, p in (0,1].
+  std::uint32_t geometric(double p) noexcept {
+    if (p >= 1.0) return 0;
+    double u = uniform();
+    while (u <= 1e-300) u = uniform();
+    return static_cast<std::uint32_t>(std::log(u) / std::log(1.0 - p));
+  }
+
+  /// Pick an index according to non-negative weights; returns weights.size()
+  /// only if all weights are zero/empty.
+  std::size_t weighted_pick(std::span<const double> weights) noexcept {
+    double total = 0;
+    for (double w : weights) total += w;
+    if (total <= 0) return weights.size();
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// In-place Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-component seeding).
+  Rng fork() noexcept { return Rng{next_u64() ^ 0xd1b54a32d192ed03ULL}; }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+}  // namespace p4iot::common

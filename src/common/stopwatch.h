@@ -1,0 +1,25 @@
+// Wall-clock stopwatch for the timing experiments (R6/R7).
+#pragma once
+
+#include <chrono>
+
+namespace p4iot::common {
+
+class Stopwatch {
+ public:
+  Stopwatch() noexcept : start_(Clock::now()) {}
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  double elapsed_seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+  double elapsed_millis() const noexcept { return elapsed_seconds() * 1e3; }
+  double elapsed_micros() const noexcept { return elapsed_seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace p4iot::common

@@ -1,0 +1,66 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p4iot::common {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string TextTable::integer(long long v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  // Column widths across header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) width[i] = std::max(width[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::string out = "== " + title_ + " ==\n";
+  if (!caption_.empty()) out += caption_ + "\n";
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < cols; ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out += cell;
+      out.append(width[i] - cell.size(), ' ');
+      if (i + 1 < cols) out += " | ";
+    }
+    out += '\n';
+  };
+
+  if (!header_.empty()) {
+    emit_row(header_);
+    for (std::size_t i = 0; i < cols; ++i) {
+      out.append(width[i], '-');
+      if (i + 1 < cols) out += "-+-";
+    }
+    out += '\n';
+  }
+  for (const auto& r : rows_) emit_row(r);
+  return out;
+}
+
+void TextTable::print() const {
+  const std::string s = render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace p4iot::common

@@ -1,0 +1,42 @@
+// ASCII table rendering for bench output — every reconstructed table/figure
+// prints through this so `bench_*` output is uniform and diffable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace p4iot::common {
+
+/// Column-aligned text table with a title and optional caption, printed in
+/// the style of the paper's tables:
+///
+///   == R2: Detection quality per protocol ==
+///   protocol | method    | accuracy | f1
+///   ---------+-----------+----------+------
+///   wifi_ip  | two-stage | 0.981    | 0.978
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_caption(std::string caption) { caption_ = std::move(caption); }
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 4);
+  static std::string integer(long long v);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+
+  std::string render() const;
+  void print() const;  ///< render to stdout
+
+ private:
+  std::string title_;
+  std::string caption_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p4iot::common

@@ -1,0 +1,88 @@
+#include "core/evaluation.h"
+
+#include "ml/fixed_field.h"
+#include "ml/knn.h"
+#include "ml/linear.h"
+#include "ml/mlp_classifier.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace p4iot::core {
+
+common::ConfusionMatrix evaluate_classifier(const ml::Classifier& clf,
+                                            const pkt::Trace& test,
+                                            std::size_t window_bytes) {
+  common::ConfusionMatrix cm;
+  for (const auto& p : test.packets()) {
+    const auto window = pkt::header_window(p, window_bytes);
+    std::vector<double> sample(window.begin(), window.end());
+    cm.add(p.is_attack(), clf.predict(sample) != 0);
+  }
+  return cm;
+}
+
+common::ConfusionMatrix evaluate_pipeline(const TwoStagePipeline& pipeline,
+                                          const pkt::Trace& test) {
+  common::ConfusionMatrix cm;
+  for (const auto& p : test.packets()) cm.add(p.is_attack(), pipeline.predict(p) != 0);
+  return cm;
+}
+
+common::ConfusionMatrix evaluate_switch(p4::P4Switch& sw, const pkt::Trace& test) {
+  common::ConfusionMatrix cm;
+  for (const auto& p : test.packets()) {
+    const auto verdict = sw.process(p);
+    cm.add(p.is_attack(), verdict.action == p4::ActionOp::kDrop);
+  }
+  return cm;
+}
+
+double classifier_auc(const ml::Classifier& clf, const pkt::Trace& test,
+                      std::size_t window_bytes) {
+  std::vector<double> scores;
+  std::vector<int> labels;
+  scores.reserve(test.size());
+  labels.reserve(test.size());
+  for (const auto& p : test.packets()) {
+    const auto window = pkt::header_window(p, window_bytes);
+    std::vector<double> sample(window.begin(), window.end());
+    scores.push_back(clf.score(sample));
+    labels.push_back(p.label());
+  }
+  return common::roc_auc(scores, labels);
+}
+
+std::vector<std::unique_ptr<ml::Classifier>> make_baseline_suite(std::uint64_t seed) {
+  std::vector<std::unique_ptr<ml::Classifier>> suite;
+  ml::DecisionTreeConfig tree_config;
+  tree_config.seed = seed;
+  suite.push_back(std::make_unique<ml::DecisionTree>(tree_config));
+
+  ml::RandomForestConfig forest_config;
+  forest_config.seed = seed + 1;
+  suite.push_back(std::make_unique<ml::RandomForest>(forest_config));
+
+  ml::LinearConfig linear_config;
+  linear_config.seed = seed + 2;
+  suite.push_back(std::make_unique<ml::LinearSvm>(linear_config));
+  suite.push_back(std::make_unique<ml::LogisticRegression>(linear_config));
+
+  ml::KnnConfig knn_config;
+  knn_config.seed = seed + 3;
+  suite.push_back(std::make_unique<ml::KnnClassifier>(knn_config));
+
+  suite.push_back(std::make_unique<ml::GaussianNaiveBayes>());
+
+  nn::MlpConfig mlp_config;
+  mlp_config.hidden_sizes = {64, 32};
+  mlp_config.epochs = 15;
+  mlp_config.seed = seed + 4;
+  suite.push_back(std::make_unique<ml::MlpClassifier>(mlp_config));
+
+  ml::DecisionTreeConfig fixed_config;
+  fixed_config.seed = seed + 5;
+  suite.push_back(std::make_unique<ml::FixedFieldBaseline>(fixed_config));
+  return suite;
+}
+
+}  // namespace p4iot::core

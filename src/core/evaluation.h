@@ -1,0 +1,38 @@
+// Shared evaluation helpers used by experiments, tests and examples.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/pipeline.h"
+#include "ml/dataset.h"
+#include "p4/switch.h"
+#include "packet/trace.h"
+
+namespace p4iot::core {
+
+/// Evaluate a byte-window Classifier on a trace.
+common::ConfusionMatrix evaluate_classifier(const ml::Classifier& clf,
+                                            const pkt::Trace& test,
+                                            std::size_t window_bytes);
+
+/// Evaluate a trained pipeline's rule set on a trace (data-plane-equivalent).
+common::ConfusionMatrix evaluate_pipeline(const TwoStagePipeline& pipeline,
+                                          const pkt::Trace& test);
+
+/// Run every packet of a trace through a live switch; "attack predicted" =
+/// packet dropped. Mutates switch counters/stats.
+common::ConfusionMatrix evaluate_switch(p4::P4Switch& sw, const pkt::Trace& test);
+
+/// ROC-AUC of a classifier's scores on a trace.
+double classifier_auc(const ml::Classifier& clf, const pkt::Trace& test,
+                      std::size_t window_bytes);
+
+/// The standard baseline suite of the experiments (R2/R5): decision tree,
+/// random forest, linear SVM, logistic regression, kNN, naive Bayes,
+/// full-byte MLP, fixed 5-tuple rules.
+std::vector<std::unique_ptr<ml::Classifier>> make_baseline_suite(std::uint64_t seed = 1);
+
+}  // namespace p4iot::core

@@ -1,0 +1,201 @@
+#include "core/field_selection.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "ml/dataset.h"
+
+namespace p4iot::core {
+
+namespace {
+
+void normalize_to_sum_one(std::vector<double>& v) {
+  double total = 0.0;
+  for (const double x : v) total += x;
+  if (total <= 0.0) return;
+  for (auto& x : v) x /= total;
+}
+
+/// Per-byte mutual information with the label, histogram-estimated over
+/// 16-value bins. Used as a soft gate on the NN saliency: bytes that are
+/// (near-)independent of the label — checksums, sequence numbers, encrypted
+/// payload — carry high gradient variance but no usable signal, and rules
+/// built on them memorize instead of generalize.
+std::vector<double> byte_label_mutual_information(const ml::Dataset& data) {
+  const std::size_t d = data.dim();
+  std::vector<double> mi(d, 0.0);
+  if (data.empty()) return mi;
+  constexpr int kBins = 16;
+  const double n = static_cast<double>(data.size());
+  const double p1 = static_cast<double>(data.count_label(1)) / n;
+  const double p0 = 1.0 - p1;
+  if (p0 <= 0.0 || p1 <= 0.0) return mi;
+
+  std::vector<double> joint(kBins * 2);
+  for (std::size_t j = 0; j < d; ++j) {
+    std::fill(joint.begin(), joint.end(), 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      // Features are normalized to [0,1]; recover the byte bin.
+      int bin = static_cast<int>(data.features[i][j] * 255.0) / kBins;
+      bin = std::clamp(bin, 0, kBins - 1);
+      joint[static_cast<std::size_t>(bin * 2 + (data.labels[i] ? 1 : 0))] += 1.0;
+    }
+    double sum = 0.0;
+    for (int b = 0; b < kBins; ++b) {
+      const double pb = (joint[b * 2] + joint[b * 2 + 1]) / n;
+      if (pb <= 0.0) continue;
+      for (int y = 0; y < 2; ++y) {
+        const double pby = joint[static_cast<std::size_t>(b * 2 + y)] / n;
+        if (pby <= 0.0) continue;
+        const double py = y ? p1 : p0;
+        sum += pby * std::log2(pby / (pb * py));
+      }
+    }
+    mi[j] = sum;
+  }
+  return mi;
+}
+
+/// Rebalance a trace by attack type: every class present (benign included)
+/// is oversampled to the size of the largest one. Without this, rare attack
+/// campaigns contribute negligible gradient mass and their discriminative
+/// fields never get selected.
+pkt::Trace balance_by_attack_type(const pkt::Trace& trace) {
+  std::vector<std::vector<std::size_t>> by_type(pkt::kNumAttackTypes);
+  for (std::size_t i = 0; i < trace.size(); ++i)
+    by_type[static_cast<std::size_t>(trace[i].attack)].push_back(i);
+
+  std::size_t largest = 0;
+  for (const auto& group : by_type) largest = std::max(largest, group.size());
+  // Bound the blow-up: at most 8x replication per class.
+  constexpr std::size_t kMaxReplication = 8;
+
+  pkt::Trace balanced(trace.name());
+  for (const auto& group : by_type) {
+    if (group.empty()) continue;
+    const std::size_t target = std::min(largest, group.size() * kMaxReplication);
+    for (std::size_t n = 0; n < target; ++n) balanced.add(trace[group[n % group.size()]]);
+  }
+  return balanced;
+}
+
+}  // namespace
+
+std::vector<SelectedField> group_bytes_into_fields(const std::vector<double>& saliency,
+                                                   std::size_t num_fields,
+                                                   std::size_t max_field_width,
+                                                   bool group_adjacent) {
+  std::vector<std::size_t> order(saliency.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return saliency[a] > saliency[b];
+  });
+
+  std::vector<SelectedField> fields;
+  auto try_merge = [&](std::size_t byte) -> bool {
+    if (!group_adjacent) return false;
+    for (auto& f : fields) {
+      if (f.width >= max_field_width) continue;
+      if (byte + 1 == f.offset) {  // extend left
+        f.offset = byte;
+        ++f.width;
+        f.saliency += saliency[byte];
+        return true;
+      }
+      if (byte == f.offset + f.width) {  // extend right
+        ++f.width;
+        f.saliency += saliency[byte];
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const auto byte : order) {
+    if (saliency[byte] <= 0.0) break;  // rest is noise-free padding
+    // Skip bytes already covered by a field.
+    const bool covered = std::any_of(fields.begin(), fields.end(), [&](const auto& f) {
+      return byte >= f.offset && byte < f.offset + f.width;
+    });
+    if (covered) continue;
+    if (try_merge(byte)) continue;
+    if (fields.size() < num_fields) {
+      fields.push_back(SelectedField{byte, 1, saliency[byte]});
+    }
+    // Once the field budget is full we keep scanning: later (lower-scoring)
+    // bytes can still merge into existing fields, widening them cheaply.
+  }
+
+  std::stable_sort(fields.begin(), fields.end(), [](const auto& a, const auto& b) {
+    return a.saliency > b.saliency;
+  });
+  return fields;
+}
+
+FieldSelectionResult select_fields(const pkt::Trace& train,
+                                   const FieldSelectionConfig& config) {
+  FieldSelectionResult result;
+  const std::size_t w = config.window_bytes;
+  result.gradient_saliency.assign(w, 0.0);
+  result.autoencoder_saliency.assign(w, 0.0);
+  result.byte_saliency.assign(w, 0.0);
+  if (train.empty()) return result;
+
+  const pkt::Trace balanced = balance_by_attack_type(train);
+  const ml::Dataset data = ml::normalized_dataset(balanced, w);
+
+  // Supervised probe over all samples.
+  const bool need_gradient = config.source != SaliencySource::kAutoencoderOnly;
+  if (need_gradient) {
+    nn::MlpConfig probe_config = config.probe;
+    probe_config.seed ^= config.seed;
+    nn::Mlp probe;
+    probe.fit(data.features, data.labels, probe_config);
+    result.gradient_saliency = probe.input_gradient_saliency(data.features, data.labels);
+    normalize_to_sum_one(result.gradient_saliency);
+  }
+
+  // Autoencoder over benign traffic only (models normal structure).
+  const bool need_autoencoder = config.source != SaliencySource::kGradientOnly;
+  if (need_autoencoder) {
+    std::vector<std::vector<double>> benign;
+    benign.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i)
+      if (data.labels[i] == 0) benign.push_back(data.features[i]);
+    if (!benign.empty()) {
+      nn::AutoencoderConfig ae_config = config.autoencoder;
+      ae_config.seed ^= config.seed;
+      nn::Autoencoder autoencoder;
+      autoencoder.fit(benign, ae_config);
+      result.autoencoder_saliency = autoencoder.input_importance();
+      normalize_to_sum_one(result.autoencoder_saliency);
+    }
+  }
+
+  double alpha = config.alpha;
+  if (config.source == SaliencySource::kGradientOnly) alpha = 1.0;
+  if (config.source == SaliencySource::kAutoencoderOnly) alpha = 0.0;
+  for (std::size_t i = 0; i < w; ++i) {
+    result.byte_saliency[i] = alpha * result.gradient_saliency[i] +
+                              (1.0 - alpha) * result.autoencoder_saliency[i];
+  }
+
+  // Discriminativeness gate. Soft (floored at 10% of the max MI) so fields
+  // whose signal only appears in interaction with others are dimmed, not
+  // eliminated.
+  if (config.mi_gate) {
+    const auto mi = byte_label_mutual_information(data);
+    const double max_mi = *std::max_element(mi.begin(), mi.end());
+    if (max_mi > 0.0) {
+      for (std::size_t i = 0; i < w; ++i)
+        result.byte_saliency[i] *= (mi[i] + 0.1 * max_mi) / (1.1 * max_mi);
+      normalize_to_sum_one(result.byte_saliency);
+    }
+  }
+
+  result.fields = group_bytes_into_fields(result.byte_saliency, config.num_fields,
+                                          config.max_field_width, config.group_adjacent);
+  return result;
+}
+
+}  // namespace p4iot::core

@@ -1,0 +1,79 @@
+// Stage 1 of the paper's two-stage method: deep-learning field selection.
+//
+// Inputs are raw header-byte windows (protocol-agnostic). Two signals are
+// combined into a per-byte saliency score:
+//
+//   g_i — supervised signal: mean |∂CE/∂x_i| of an MLP probe trained to
+//         separate attack from benign (which bytes move the decision);
+//   a_i — unsupervised signal: first-layer weight norms of an autoencoder
+//         trained on benign traffic (which bytes carry the structure of
+//         normal behaviour).
+//
+// Combined score s_i = α·g_i + (1-α)·a_i (each normalized to sum 1). The
+// top-scoring bytes are greedily grouped into contiguous multi-byte fields —
+// real protocol fields are contiguous, and one k-byte field costs the same
+// TCAM width as k scattered bytes but one parser extraction instead of k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/autoencoder.h"
+#include "nn/mlp.h"
+#include "packet/trace.h"
+
+namespace p4iot::core {
+
+struct SelectedField {
+  std::size_t offset = 0;  ///< byte offset in the header window
+  std::size_t width = 1;   ///< bytes
+  double saliency = 0.0;   ///< sum of member byte scores
+
+  friend bool operator==(const SelectedField&, const SelectedField&) = default;
+};
+
+enum class SaliencySource : std::uint8_t {
+  kCombined = 0,    ///< α·gradient + (1-α)·autoencoder (the paper's method)
+  kGradientOnly = 1,
+  kAutoencoderOnly = 2,
+};
+
+struct FieldSelectionConfig {
+  std::size_t window_bytes = 64;
+  std::size_t num_fields = 4;      ///< k — the headline knob of the paper
+  std::size_t max_field_width = 2; ///< merge limit, bytes (real fields are 1-2B)
+  bool group_adjacent = true;
+  double alpha = 0.7;              ///< weight of the supervised signal
+  SaliencySource source = SaliencySource::kCombined;
+  /// Gate saliency by per-byte mutual information with the label, damping
+  /// label-independent bytes (checksums, nonces, encrypted payload) whose
+  /// gradients reflect memorization. Ablated in R9.
+  bool mi_gate = true;
+
+  nn::MlpConfig probe{.hidden_sizes = {48, 24}, .epochs = 12, .batch_size = 64,
+                      .adam = {.l2 = 1e-4}, .seed = 101};  ///< L2 damps noise-byte weights
+  nn::AutoencoderConfig autoencoder{.encoder_sizes = {32, 12}, .epochs = 10,
+                                    .batch_size = 64, .adam = {}, .seed = 102};
+  std::uint64_t seed = 100;
+};
+
+struct FieldSelectionResult {
+  std::vector<SelectedField> fields;      ///< sorted by saliency, descending
+  std::vector<double> byte_saliency;      ///< combined s_i per window byte
+  std::vector<double> gradient_saliency;  ///< g_i
+  std::vector<double> autoencoder_saliency;  ///< a_i
+};
+
+/// Run stage 1 on a labelled training trace.
+FieldSelectionResult select_fields(const pkt::Trace& train,
+                                   const FieldSelectionConfig& config);
+
+/// Greedy grouping of a per-byte score vector into at most `num_fields`
+/// contiguous fields of at most `max_field_width` bytes (exposed for tests
+/// and the R9 ablation).
+std::vector<SelectedField> group_bytes_into_fields(const std::vector<double>& saliency,
+                                                   std::size_t num_fields,
+                                                   std::size_t max_field_width,
+                                                   bool group_adjacent);
+
+}  // namespace p4iot::core

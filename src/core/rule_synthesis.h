@@ -1,0 +1,115 @@
+// Stage 2 of the paper's two-stage method: compile a compact classifier
+// over the selected fields into P4 ternary flow rules.
+//
+// A CART tree is trained on the integer wire values of the selected fields.
+// Every root-to-leaf path whose leaf is attack-dominated becomes a match
+// rule: the path's per-field value interval is expanded into the minimal set
+// of ternary prefixes (classic range-to-prefix expansion), and the
+// cross-product over fields yields TCAM entries. A greedy coverage pass
+// keeps the highest-value entries under the table budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/field_selection.h"
+#include "ml/decision_tree.h"
+#include "ml/multiclass_tree.h"
+#include "p4/ir.h"
+
+namespace p4iot::core {
+
+enum class ExpansionStrategy : std::uint8_t {
+  /// Exact: minimal prefix cover of each interval (no over/under match).
+  kExactPrefixes = 0,
+  /// Widened: single smallest covering prefix per interval — cheaper in
+  /// entries, may overmatch (drop benign). R9 ablates this.
+  kWidenedPrefix = 1,
+};
+
+struct RuleSynthesisConfig {
+  ml::DecisionTreeConfig tree{.max_depth = 6, .min_samples_split = 8,
+                              .min_samples_leaf = 4};
+  std::size_t max_entries = 256;      ///< TCAM entry budget
+  /// Per-path expansion cap: when a path's cross-product exceeds this, the
+  /// field with the largest prefix list is widened to one covering prefix
+  /// (overmatching toward drop) until the product fits. Keeps recall under
+  /// tight budgets at the cost of some false positives.
+  std::size_t max_entries_per_path = 128;
+  double attack_leaf_threshold = 0.5; ///< leaf attack prob to emit a rule
+  /// Class-aware synthesis: stage 2 grows a *multiclass* tree with attack
+  /// families as classes, so leaves separate families that share a region
+  /// under the binary objective and entry class tags identify accurately
+  /// (see R11). Binary detection semantics are unchanged — any attack class
+  /// maps to the attack action.
+  bool class_aware = false;
+  /// Post-synthesis validation: a held-out fraction of the training trace
+  /// (never shown to the tree) is replayed against the rule set with
+  /// first-match semantics. Two filters apply:
+  ///   * entry precision — an entry whose attack-hit share falls below
+  ///     min_rule_precision is discarded (catches overmatching rules);
+  ///   * path evidence — when the held-out slice carries enough attack
+  ///     packets, every entry of a tree path that caught none of them is
+  ///     discarded (catches memorization: rules keyed on checksums, random
+  ///     payload bytes or sequence numbers fit the fit-slice perfectly but
+  ///     never fire on unseen traffic).
+  /// min_rule_precision 0 disables the whole pass.
+  double min_rule_precision = 0.85;
+  double validation_fraction = 0.25;
+  /// Minimum attack packets in the held-out slice before the path-evidence
+  /// filter activates (small datasets stay conservative).
+  std::size_t min_validation_attacks = 20;
+  std::uint64_t seed = 29;  ///< fit/validation split
+  ExpansionStrategy expansion = ExpansionStrategy::kExactPrefixes;
+  /// Behaviour-preserving TCAM minimization (prefix-joining) after
+  /// validation; typically reclaims a sizeable share of the expanded
+  /// entries. See p4/minimize.h.
+  bool minimize = true;
+  bool fail_closed = false;           ///< default action drop instead of permit
+  p4::ActionOp attack_action = p4::ActionOp::kDrop;
+};
+
+/// One attack-dominated tree path (pre-expansion), kept for reporting.
+struct RulePath {
+  std::vector<std::uint64_t> lo, hi;  ///< inclusive interval per field
+  double attack_probability = 0.0;
+  std::size_t training_samples = 0;
+  /// Dominant attack family among training packets the path covers
+  /// (pkt::AttackType value; kNone for benign/permit paths). Propagated to
+  /// entries as the attack_class telemetry tag.
+  pkt::AttackType dominant_attack = pkt::AttackType::kNone;
+};
+
+struct SynthesizedRules {
+  p4::P4Program program;               ///< parser + ternary keys, no entries
+  std::vector<p4::TableEntry> entries; ///< budget-trimmed, priority-ordered
+  ml::DecisionTree tree;               ///< the stage-2 model itself
+  std::vector<RulePath> paths;         ///< attack paths pre-expansion
+
+  std::size_t entries_before_budget = 0;  ///< expansion size before trimming
+  std::size_t tcam_bits = 0;              ///< entries × 2 × key bits
+};
+
+/// Train the stage-2 tree and compile rules. `train` must be a raw-byte
+/// trace; fields come from stage 1.
+SynthesizedRules synthesize_rules(const pkt::Trace& train,
+                                  const std::vector<SelectedField>& fields,
+                                  std::size_t window_bytes,
+                                  const RuleSynthesisConfig& config);
+
+/// Dataset whose feature j is the integer wire value of fields[j]
+/// (exposed for tests and for software-side evaluation of the tree).
+ml::Dataset field_value_dataset(const pkt::Trace& trace,
+                                const std::vector<SelectedField>& fields,
+                                std::size_t window_bytes);
+
+/// Minimal ternary prefix cover of the integer range [lo, hi] within a
+/// `bits`-wide field. Returns (value, mask) pairs.
+std::vector<std::pair<std::uint64_t, std::uint64_t>> range_to_prefixes(
+    std::uint64_t lo, std::uint64_t hi, std::size_t bits);
+
+/// Single smallest prefix containing [lo, hi] (the widened strategy).
+std::pair<std::uint64_t, std::uint64_t> covering_prefix(std::uint64_t lo, std::uint64_t hi,
+                                                        std::size_t bits);
+
+}  // namespace p4iot::core

@@ -1,0 +1,26 @@
+// Persistence for trained pipelines.
+//
+// A deployed gateway trains once (or in the cloud) and ships the compiled
+// artifact: selected fields, the stage-2 tree, the P4 program and the rule
+// entries. Binary format "P4IOTMDL" v1, little-endian, length-prefixed
+// strings. The NN stage is deliberately not persisted — it is training
+// machinery, not part of the deployable firewall.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/pipeline.h"
+
+namespace p4iot::core {
+
+/// Serialize a trained pipeline's deployable state. Returns false on I/O
+/// failure or if the pipeline is untrained.
+bool save_pipeline(const TwoStagePipeline& pipeline, const std::string& path);
+
+/// Reload a pipeline saved with save_pipeline. The result predicts, scores,
+/// installs and generates P4 exactly like the original; it cannot be
+/// re-fit incrementally (call fit() to retrain from scratch).
+std::optional<TwoStagePipeline> load_pipeline(const std::string& path);
+
+}  // namespace p4iot::core

@@ -1,0 +1,86 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace p4iot::ml {
+
+std::size_t Dataset::count_label(int label) const noexcept {
+  return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), label));
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double train_fraction, common::Rng& rng) const {
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+  const auto n_train =
+      static_cast<std::size_t>(train_fraction * static_cast<double>(size()));
+  Dataset train, test;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto& dst = i < n_train ? train : test;
+    dst.add(features[order[i]], labels[order[i]]);
+  }
+  return {std::move(train), std::move(test)};
+}
+
+Dataset Dataset::subsample(std::size_t n, common::Rng& rng) const {
+  if (n >= size()) return *this;
+  std::vector<std::size_t> order(size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+  Dataset out;
+  for (std::size_t i = 0; i < n; ++i) out.add(features[order[i]], labels[order[i]]);
+  return out;
+}
+
+Dataset bytes_dataset(const pkt::Trace& trace, std::size_t window_width) {
+  Dataset out;
+  out.features.reserve(trace.size());
+  out.labels.reserve(trace.size());
+  for (const auto& p : trace.packets()) {
+    const auto window = pkt::header_window(p, window_width);
+    std::vector<double> sample(window_width);
+    for (std::size_t i = 0; i < window_width; ++i)
+      sample[i] = static_cast<double>(window[i]);
+    out.add(std::move(sample), p.label());
+  }
+  return out;
+}
+
+Dataset normalized_dataset(const pkt::Trace& trace, std::size_t window_width) {
+  Dataset out;
+  out.features.reserve(trace.size());
+  out.labels.reserve(trace.size());
+  for (const auto& p : trace.packets())
+    out.add(pkt::header_window_features(p, window_width), p.label());
+  return out;
+}
+
+Dataset project(const Dataset& dataset, std::span<const std::size_t> columns) {
+  Dataset out;
+  out.features.reserve(dataset.size());
+  out.labels = dataset.labels;
+  for (const auto& row : dataset.features) {
+    std::vector<double> projected;
+    projected.reserve(columns.size());
+    for (const auto c : columns) projected.push_back(c < row.size() ? row[c] : 0.0);
+    out.features.push_back(std::move(projected));
+  }
+  return out;
+}
+
+std::vector<int> predict_all(const Classifier& clf, const Dataset& data) {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.features) out.push_back(clf.predict(row));
+  return out;
+}
+
+std::vector<double> score_all(const Classifier& clf, const Dataset& data) {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& row : data.features) out.push_back(clf.score(row));
+  return out;
+}
+
+}  // namespace p4iot::ml

@@ -1,0 +1,69 @@
+// Feature-matrix dataset and the Classifier interface shared by all
+// detectors (classical baselines, the MLP wrapper, and the two-stage
+// pipeline's internal tree).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "packet/trace.h"
+
+namespace p4iot::ml {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;  ///< 0 = benign, 1 = attack
+
+  std::size_t size() const noexcept { return features.size(); }
+  std::size_t dim() const noexcept { return features.empty() ? 0 : features[0].size(); }
+  bool empty() const noexcept { return features.empty(); }
+
+  void add(std::vector<double> sample, int label) {
+    features.push_back(std::move(sample));
+    labels.push_back(label);
+  }
+
+  std::size_t count_label(int label) const noexcept;
+
+  /// Deterministic shuffled split.
+  std::pair<Dataset, Dataset> split(double train_fraction, common::Rng& rng) const;
+
+  /// Keep at most n samples (deterministic subsample).
+  Dataset subsample(std::size_t n, common::Rng& rng) const;
+};
+
+/// Raw-byte dataset from a trace: one sample per packet, feature j = byte j
+/// of the header window as a value in [0,255] (unnormalized — tree
+/// thresholds then translate directly to wire-value match rules).
+Dataset bytes_dataset(const pkt::Trace& trace, std::size_t window_width);
+
+/// Same but scaled to [0,1] (for the neural models).
+Dataset normalized_dataset(const pkt::Trace& trace, std::size_t window_width);
+
+/// Project a dataset onto a subset of feature columns.
+Dataset project(const Dataset& dataset, std::span<const std::size_t> columns);
+
+/// Uniform interface over every detector in the repo.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  virtual void fit(const Dataset& train) = 0;
+  /// Hard 0/1 decision.
+  virtual int predict(std::span<const double> sample) const = 0;
+  /// Attack score in [0,1] (for ROC); default thresholds the hard decision.
+  virtual double score(std::span<const double> sample) const {
+    return predict(sample) ? 1.0 : 0.0;
+  }
+  virtual std::string name() const = 0;
+};
+
+/// Predict a whole dataset (convenience for the experiments).
+std::vector<int> predict_all(const Classifier& clf, const Dataset& data);
+std::vector<double> score_all(const Classifier& clf, const Dataset& data);
+
+}  // namespace p4iot::ml

@@ -1,0 +1,164 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace p4iot::ml {
+
+namespace {
+
+double gini(std::size_t n_attack, std::size_t n_total) noexcept {
+  if (n_total == 0) return 0.0;
+  const double p = static_cast<double>(n_attack) / static_cast<double>(n_total);
+  return 2.0 * p * (1.0 - p);
+}
+
+struct SplitChoice {
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+};
+
+}  // namespace
+
+void DecisionTree::fit(const Dataset& train) {
+  nodes_.clear();
+  if (train.empty()) return;
+  std::vector<std::size_t> indices(train.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  common::Rng rng(config_.seed);
+  build(train, indices, 0, indices.size(), 0, rng);
+}
+
+int DecisionTree::build(const Dataset& data, std::vector<std::size_t>& indices,
+                        std::size_t begin, std::size_t end, int depth, common::Rng& rng) {
+  const std::size_t n = end - begin;
+  std::size_t n_attack = 0;
+  for (std::size_t i = begin; i < end; ++i) n_attack += data.labels[indices[i]];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  nodes_[node_index].samples = n;
+  nodes_[node_index].attack_probability =
+      n ? static_cast<double>(n_attack) / static_cast<double>(n) : 0.0;
+
+  const double parent_gini = gini(n_attack, n);
+  if (depth >= config_.max_depth || n < config_.min_samples_split || n_attack == 0 ||
+      n_attack == n) {
+    return node_index;
+  }
+
+  // Candidate features (all, or a random subset for forests).
+  const std::size_t dim = data.dim();
+  std::vector<std::size_t> feature_order(dim);
+  std::iota(feature_order.begin(), feature_order.end(), std::size_t{0});
+  std::size_t n_features = dim;
+  if (config_.max_features > 0 && config_.max_features < dim) {
+    rng.shuffle(std::span<std::size_t>(feature_order));
+    n_features = config_.max_features;
+  }
+
+  SplitChoice best;
+  std::vector<std::pair<double, int>> column(n);  // (value, label)
+  for (std::size_t fi = 0; fi < n_features; ++fi) {
+    const std::size_t f = feature_order[fi];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = indices[begin + i];
+      column[i] = {data.features[idx][f], data.labels[idx]};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;  // constant feature
+
+    // Sweep split points between distinct values.
+    std::size_t left_n = 0, left_attack = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_n;
+      left_attack += static_cast<std::size_t>(column[i].second);
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t right_n = n - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf) continue;
+      const std::size_t right_attack = n_attack - left_attack;
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_attack, left_n) +
+           static_cast<double>(right_n) * gini(right_attack, right_n)) /
+          static_cast<double>(n);
+      const double decrease = parent_gini - weighted;
+      if (decrease > best.impurity_decrease) {
+        best.feature = static_cast<int>(f);
+        best.threshold = (column[i].first + column[i + 1].first) / 2.0;
+        best.impurity_decrease = decrease;
+      }
+    }
+  }
+
+  if (best.feature < 0 || best.impurity_decrease < config_.min_impurity_decrease) {
+    return node_index;
+  }
+
+  // Partition indices in place around the chosen split.
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return data.features[idx][static_cast<std::size_t>(best.feature)] <= best.threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_index;  // numeric edge case
+
+  nodes_[node_index].feature = best.feature;
+  nodes_[node_index].threshold = best.threshold;
+  const int left = build(data, indices, begin, mid, depth + 1, rng);
+  const int right = build(data, indices, mid, end, depth + 1, rng);
+  nodes_[node_index].left = left;
+  nodes_[node_index].right = right;
+  return node_index;
+}
+
+int DecisionTree::leaf_index(std::span<const double> sample) const {
+  if (nodes_.empty()) return -1;
+  int i = 0;
+  while (!nodes_[static_cast<std::size_t>(i)].is_leaf()) {
+    const auto& node = nodes_[static_cast<std::size_t>(i)];
+    const auto f = static_cast<std::size_t>(node.feature);
+    const double v = f < sample.size() ? sample[f] : 0.0;
+    i = v <= node.threshold ? node.left : node.right;
+  }
+  return i;
+}
+
+int DecisionTree::predict(std::span<const double> sample) const {
+  const int leaf = leaf_index(sample);
+  return leaf < 0 ? 0 : nodes_[static_cast<std::size_t>(leaf)].label();
+}
+
+double DecisionTree::score(std::span<const double> sample) const {
+  const int leaf = leaf_index(sample);
+  return leaf < 0 ? 0.0 : nodes_[static_cast<std::size_t>(leaf)].attack_probability;
+}
+
+int DecisionTree::depth() const noexcept {
+  // Iterative depth via parent-relative traversal (nodes are in DFS order,
+  // but we recompute explicitly for robustness).
+  if (nodes_.empty()) return 0;
+  std::vector<std::pair<int, int>> stack{{0, 1}};
+  int max_depth = 0;
+  while (!stack.empty()) {
+    const auto [idx, depth] = stack.back();
+    stack.pop_back();
+    max_depth = std::max(max_depth, depth);
+    const auto& node = nodes_[static_cast<std::size_t>(idx)];
+    if (!node.is_leaf()) {
+      stack.push_back({node.left, depth + 1});
+      stack.push_back({node.right, depth + 1});
+    }
+  }
+  return max_depth;
+}
+
+std::size_t DecisionTree::leaf_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.is_leaf() ? 1 : 0;
+  return count;
+}
+
+}  // namespace p4iot::ml

@@ -1,0 +1,75 @@
+// CART decision tree (Gini impurity, axis-aligned splits).
+//
+// Doubles as (a) a baseline detector and (b) the stage-2 model of the
+// two-stage pipeline: its root-to-leaf paths are what get compiled into
+// ternary match-action rules, so the node array is part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace p4iot::ml {
+
+struct TreeNode {
+  // Split nodes: samples with feature value <= threshold go left.
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  // All nodes carry class statistics (leaves use them for prediction).
+  double attack_probability = 0.0;
+  std::size_t samples = 0;
+
+  bool is_leaf() const noexcept { return left < 0; }
+  int label() const noexcept { return attack_probability >= 0.5 ? 1 : 0; }
+};
+
+struct DecisionTreeConfig {
+  int max_depth = 8;
+  std::size_t min_samples_split = 8;
+  std::size_t min_samples_leaf = 2;
+  double min_impurity_decrease = 1e-7;
+  /// 0 = consider all features at each split; otherwise sample this many
+  /// (used by the random forest).
+  std::size_t max_features = 0;
+  std::uint64_t seed = 3;
+};
+
+class DecisionTree final : public Classifier {
+ public:
+  DecisionTree() = default;
+  explicit DecisionTree(DecisionTreeConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;
+  std::string name() const override { return "decision-tree"; }
+
+  /// Reconstruct a tree from a node array (deserialization). The array must
+  /// come from nodes() of a trained tree; no structural validation beyond
+  /// bounds is performed.
+  static DecisionTree from_nodes(std::vector<TreeNode> nodes) {
+    DecisionTree tree;
+    tree.nodes_ = std::move(nodes);
+    return tree;
+  }
+
+  const std::vector<TreeNode>& nodes() const noexcept { return nodes_; }
+  bool trained() const noexcept { return !nodes_.empty(); }
+  int depth() const noexcept;
+  std::size_t leaf_count() const noexcept;
+
+  /// Index of the leaf a sample lands in (-1 when untrained).
+  int leaf_index(std::span<const double> sample) const;
+
+ private:
+  int build(const Dataset& data, std::vector<std::size_t>& indices, std::size_t begin,
+            std::size_t end, int depth, common::Rng& rng);
+
+  DecisionTreeConfig config_;
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace p4iot::ml

@@ -1,0 +1,56 @@
+#include "ml/fixed_field.h"
+
+#include "packet/ethernet.h"
+
+namespace p4iot::ml {
+
+namespace {
+
+/// The fixed parser: a sample "parses" as Ethernet/IPv4 when its ethertype
+/// bytes (12-13) read 0x0800 and the version/IHL byte is 0x45 — the same
+/// check the real dissector applies, expressed over the byte window.
+bool parses_as_ipv4(std::span<const double> sample) {
+  if (sample.size() <= pkt::kOffIpv4) return false;
+  return static_cast<int>(sample[12]) == 0x08 && static_cast<int>(sample[13]) == 0x00 &&
+         static_cast<int>(sample[14]) == 0x45;
+}
+
+}  // namespace
+
+std::vector<std::size_t> openflow_field_columns() {
+  // ipv4.protocol, ipv4.src[0..3], ipv4.dst[0..3], l4 src/dst port bytes.
+  std::vector<std::size_t> cols = {23};
+  for (std::size_t i = 0; i < 4; ++i) cols.push_back(26 + i);
+  for (std::size_t i = 0; i < 4; ++i) cols.push_back(30 + i);
+  for (std::size_t i = 0; i < 4; ++i) cols.push_back(pkt::kOffL4 + i);
+  return cols;
+}
+
+void FixedFieldBaseline::fit(const Dataset& train) {
+  // Only parseable traffic ever reaches the match stage.
+  Dataset parseable;
+  for (std::size_t i = 0; i < train.size(); ++i)
+    if (parses_as_ipv4(train.features[i]))
+      parseable.add(train.features[i], train.labels[i]);
+  tree_.fit(project(parseable, columns_));
+}
+
+std::vector<double> FixedFieldBaseline::project_sample(
+    std::span<const double> sample) const {
+  std::vector<double> out;
+  out.reserve(columns_.size());
+  for (const auto c : columns_) out.push_back(c < sample.size() ? sample[c] : 0.0);
+  return out;
+}
+
+int FixedFieldBaseline::predict(std::span<const double> sample) const {
+  if (!parses_as_ipv4(sample)) return 0;  // unparseable → fail-open
+  return tree_.predict(project_sample(sample));
+}
+
+double FixedFieldBaseline::score(std::span<const double> sample) const {
+  if (!parses_as_ipv4(sample)) return 0.0;
+  return tree_.score(project_sample(sample));
+}
+
+}  // namespace p4iot::ml

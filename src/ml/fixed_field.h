@@ -1,0 +1,40 @@
+// Fixed-field (OpenFlow-style) baseline.
+//
+// Classical SDN firewalls can only match a fixed menu of IP-stack fields
+// (the OpenFlow 5-tuple), extracted by a fixed parser. We model that as a
+// decision tree restricted to the byte columns where those fields live in
+// an Ethernet/IPv4 frame — and, crucially, the fixed parser must actually
+// recognize the frame: non-IPv4 traffic fails the parse, is never
+// classified, and passes through (fail-open), exactly as an OpenFlow
+// pipeline treats protocols it has no match fields for. This is the
+// universality failure the paper's programmable parser removes.
+#pragma once
+
+#include "ml/decision_tree.h"
+
+namespace p4iot::ml {
+
+/// Byte offsets of the OpenFlow-matchable fields in an Ethernet/IPv4 frame
+/// (ip proto, src/dst IP, src/dst L4 port).
+std::vector<std::size_t> openflow_field_columns();
+
+class FixedFieldBaseline final : public Classifier {
+ public:
+  FixedFieldBaseline() = default;
+  explicit FixedFieldBaseline(DecisionTreeConfig config) : tree_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;
+  std::string name() const override { return "fixed-5tuple"; }
+
+  const DecisionTree& tree() const noexcept { return tree_; }
+
+ private:
+  std::vector<double> project_sample(std::span<const double> sample) const;
+
+  DecisionTree tree_;
+  std::vector<std::size_t> columns_ = openflow_field_columns();
+};
+
+}  // namespace p4iot::ml

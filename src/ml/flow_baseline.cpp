@@ -1,0 +1,91 @@
+#include "ml/flow_baseline.h"
+
+#include <cmath>
+
+#include "common/metrics.h"
+
+namespace p4iot::ml {
+
+std::vector<double> FlowBaseline::flow_features(const pkt::FlowStats& stats) {
+  const double packets = static_cast<double>(stats.packets);
+  const double duration = std::max(stats.duration_s(), 1e-3);
+  return {
+      std::log1p(packets),
+      std::log1p(static_cast<double>(stats.bytes)),
+      stats.mean_packet_size,
+      std::log1p(stats.mean_interarrival_s * 1e3),  // ms scale
+      std::log1p(duration),
+      std::log1p(packets / duration),               // rate, pps
+  };
+}
+
+std::optional<pkt::FlowKey> FlowBaseline::source_key(const pkt::Packet& packet) {
+  auto key = pkt::flow_key(packet);
+  if (!key) return std::nullopt;
+  key->dst = 0;
+  key->src_port = 0;
+  key->dst_port = 0;
+  key->proto = 0;
+  return key;
+}
+
+void FlowBaseline::fit(const pkt::Trace& train) {
+  // One training sample per (source, tumbling window), labelled by the
+  // window's majority class. The trace is assumed time-sorted.
+  Dataset data;
+  pkt::FlowTable window;
+  double window_end = config_.window_seconds;
+  auto flush = [&]() {
+    for (const auto& [key, stats] : window.snapshot()) {
+      if (stats.packets < config_.min_packets) continue;
+      data.add(flow_features(stats), stats.majority_attack() ? 1 : 0);
+    }
+    window.clear();
+  };
+  for (const auto& p : train.packets()) {
+    while (p.timestamp_s >= window_end) {
+      flush();
+      window_end += config_.window_seconds;
+    }
+    if (const auto key = source_key(p)) window.observe_as(*key, p);
+  }
+  flush();
+
+  tree_ = DecisionTree(config_.tree);
+  tree_.fit(data);
+}
+
+int FlowBaseline::predict(const pkt::FlowStats& stats) const {
+  if (!tree_.trained() || stats.packets < config_.min_packets) return 0;
+  return tree_.predict(flow_features(stats));
+}
+
+double FlowBaseline::score(const pkt::FlowStats& stats) const {
+  if (!tree_.trained() || stats.packets < config_.min_packets) return 0.0;
+  return tree_.score(flow_features(stats));
+}
+
+common::ConfusionMatrix evaluate_flow_baseline(const FlowBaseline& baseline,
+                                               const pkt::Trace& test,
+                                               double window_seconds) {
+  common::ConfusionMatrix cm;
+  pkt::FlowTable window;
+  double window_end = window_seconds;
+  for (const auto& p : test.packets()) {
+    while (p.timestamp_s >= window_end) {
+      window.clear();
+      window_end += window_seconds;
+    }
+    const auto key = FlowBaseline::source_key(p);
+    const pkt::FlowStats* stats = nullptr;
+    if (key) {
+      window.observe_as(*key, p);
+      stats = window.find(*key);
+    }
+    const bool flagged = stats != nullptr && baseline.predict(*stats) != 0;
+    cm.add(p.is_attack(), flagged);
+  }
+  return cm;
+}
+
+}  // namespace p4iot::ml

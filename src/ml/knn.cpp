@@ -1,0 +1,44 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+
+#include "ml/linear.h"  // fit_standardizer
+
+namespace p4iot::ml {
+
+void KnnClassifier::fit(const Dataset& train) {
+  common::Rng rng(config_.seed);
+  reference_ = train.subsample(config_.max_reference, rng);
+  fit_standardizer(reference_, mean_, inv_std_);
+}
+
+double KnnClassifier::score(std::span<const double> sample) const {
+  if (reference_.empty()) return 0.0;
+  const std::size_t d = reference_.dim();
+  const std::size_t k = std::min(config_.k, reference_.size());
+
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dists;
+  dists.reserve(reference_.size());
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    const auto& row = reference_.features[i];
+    double dist = 0.0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double x = j < sample.size() ? sample[j] : 0.0;
+      const double delta = (x - row[j]) * inv_std_[j];
+      dist += delta * delta;
+    }
+    dists.emplace_back(dist, reference_.labels[i]);
+  }
+  std::nth_element(dists.begin(), dists.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   dists.end());
+  std::size_t attack_votes = 0;
+  for (std::size_t i = 0; i < k; ++i) attack_votes += static_cast<std::size_t>(dists[i].second);
+  return static_cast<double>(attack_votes) / static_cast<double>(k);
+}
+
+int KnnClassifier::predict(std::span<const double> sample) const {
+  return score(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace p4iot::ml

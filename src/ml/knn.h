@@ -1,0 +1,35 @@
+// k-nearest-neighbours detector (brute force over a capped reference set).
+#pragma once
+
+#include "ml/dataset.h"
+
+namespace p4iot::ml {
+
+struct KnnConfig {
+  std::size_t k = 5;
+  /// Cap the stored reference set (kNN is the memory/time-hungry baseline;
+  /// the paper's efficiency argument is exactly that such models cannot run
+  /// in the data plane).
+  std::size_t max_reference = 4000;
+  std::uint64_t seed = 17;
+};
+
+class KnnClassifier final : public Classifier {
+ public:
+  KnnClassifier() = default;
+  explicit KnnClassifier(KnnConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;  ///< attack vote share
+  std::string name() const override { return "knn"; }
+
+  std::size_t reference_size() const noexcept { return reference_.size(); }
+
+ private:
+  KnnConfig config_;
+  Dataset reference_;
+  std::vector<double> mean_, inv_std_;
+};
+
+}  // namespace p4iot::ml

@@ -1,0 +1,133 @@
+#include "ml/linear.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace p4iot::ml {
+
+namespace {
+
+double standardized_dot(std::span<const double> sample, std::span<const double> weights,
+                        std::span<const double> mean, std::span<const double> inv_std,
+                        double bias) {
+  double sum = bias;
+  const std::size_t d = weights.size();
+  for (std::size_t j = 0; j < d; ++j) {
+    const double x = j < sample.size() ? sample[j] : 0.0;
+    sum += weights[j] * (x - mean[j]) * inv_std[j];
+  }
+  return sum;
+}
+
+double sigmoid(double z) noexcept { return 1.0 / (1.0 + std::exp(-z)); }
+
+}  // namespace
+
+void fit_standardizer(const Dataset& data, std::vector<double>& mean,
+                      std::vector<double>& inv_std) {
+  const std::size_t d = data.dim();
+  const std::size_t n = data.size();
+  mean.assign(d, 0.0);
+  inv_std.assign(d, 1.0);
+  if (n == 0) return;
+  for (const auto& row : data.features)
+    for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+  for (auto& m : mean) m /= static_cast<double>(n);
+  std::vector<double> var(d, 0.0);
+  for (const auto& row : data.features)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean[j];
+      var[j] += diff * diff;
+    }
+  for (std::size_t j = 0; j < d; ++j) {
+    const double stddev = std::sqrt(var[j] / static_cast<double>(n));
+    inv_std[j] = stddev > 1e-9 ? 1.0 / stddev : 0.0;  // constant column → ignore
+  }
+}
+
+void LinearSvm::fit(const Dataset& train) {
+  const std::size_t d = train.dim();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  if (train.empty()) return;
+  fit_standardizer(train, mean_, inv_std_);
+
+  common::Rng rng(config_.seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  // Pegasos: step 1/(lambda*t), project via regularization shrink.
+  std::int64_t t = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(std::span<std::size_t>(order));
+    for (const auto idx : order) {
+      ++t;
+      const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+      const auto& row = train.features[idx];
+      const double y = train.labels[idx] ? 1.0 : -1.0;
+      const double m = standardized_dot(row, weights_, mean_, inv_std_, bias_);
+      const double shrink = 1.0 - eta * config_.lambda;
+      for (auto& w : weights_) w *= shrink;
+      if (y * m < 1.0) {
+        for (std::size_t j = 0; j < d; ++j)
+          weights_[j] += eta * y * (row[j] - mean_[j]) * inv_std_[j];
+        bias_ += eta * y;
+      }
+    }
+  }
+}
+
+double LinearSvm::margin(std::span<const double> sample) const {
+  if (weights_.empty()) return 0.0;
+  return standardized_dot(sample, weights_, mean_, inv_std_, bias_);
+}
+
+int LinearSvm::predict(std::span<const double> sample) const {
+  return margin(sample) >= 0.0 ? 1 : 0;
+}
+
+double LinearSvm::score(std::span<const double> sample) const {
+  return sigmoid(margin(sample));
+}
+
+void LogisticRegression::fit(const Dataset& train) {
+  const std::size_t d = train.dim();
+  weights_.assign(d, 0.0);
+  bias_ = 0.0;
+  if (train.empty()) return;
+  fit_standardizer(train, mean_, inv_std_);
+
+  common::Rng rng(config_.seed);
+  std::vector<std::size_t> order(train.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::int64_t t = 0;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.shuffle(std::span<std::size_t>(order));
+    for (const auto idx : order) {
+      ++t;
+      const double eta =
+          config_.learning_rate / (1.0 + 1e-4 * static_cast<double>(t));
+      const auto& row = train.features[idx];
+      const double y = train.labels[idx] ? 1.0 : 0.0;
+      const double p =
+          sigmoid(standardized_dot(row, weights_, mean_, inv_std_, bias_));
+      const double err = p - y;
+      for (std::size_t j = 0; j < d; ++j)
+        weights_[j] -= eta * (err * (row[j] - mean_[j]) * inv_std_[j] +
+                              config_.lambda * weights_[j]);
+      bias_ -= eta * err;
+    }
+  }
+}
+
+int LogisticRegression::predict(std::span<const double> sample) const {
+  return score(sample) >= 0.5 ? 1 : 0;
+}
+
+double LogisticRegression::score(std::span<const double> sample) const {
+  if (weights_.empty()) return 0.0;
+  return sigmoid(standardized_dot(sample, weights_, mean_, inv_std_, bias_));
+}
+
+}  // namespace p4iot::ml

@@ -1,0 +1,58 @@
+// Linear models: soft-margin SVM (Pegasos SGD) and logistic regression.
+//
+// Both standardize features internally (z-score from training statistics) —
+// raw byte values span [0,255] with wildly different variances per position.
+#pragma once
+
+#include "ml/dataset.h"
+
+namespace p4iot::ml {
+
+struct LinearConfig {
+  int epochs = 10;
+  double lambda = 1e-4;        ///< SVM regularization
+  double learning_rate = 0.1;  ///< logistic initial LR (1/t decay)
+  std::uint64_t seed = 13;
+};
+
+class LinearSvm final : public Classifier {
+ public:
+  LinearSvm() = default;
+  explicit LinearSvm(LinearConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;  ///< sigmoid(margin)
+  std::string name() const override { return "linear-svm"; }
+
+  double margin(std::span<const double> sample) const;
+
+ private:
+  LinearConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_, inv_std_;
+};
+
+class LogisticRegression final : public Classifier {
+ public:
+  LogisticRegression() = default;
+  explicit LogisticRegression(LinearConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;  ///< P(attack)
+  std::string name() const override { return "logistic-regression"; }
+
+ private:
+  LinearConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+  std::vector<double> mean_, inv_std_;
+};
+
+/// Shared helper: compute column means and inverse stddevs.
+void fit_standardizer(const Dataset& data, std::vector<double>& mean,
+                      std::vector<double>& inv_std);
+
+}  // namespace p4iot::ml

@@ -1,0 +1,53 @@
+// Classifier-interface adapter over the nn::Mlp — the "full deep model on
+// all header bytes" baseline from the paper's comparison.
+#pragma once
+
+#include "ml/dataset.h"
+#include "nn/mlp.h"
+
+namespace p4iot::ml {
+
+class MlpClassifier final : public Classifier {
+ public:
+  MlpClassifier() = default;
+  explicit MlpClassifier(nn::MlpConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override {
+    // The MLP expects inputs roughly in [0,1]; byte datasets are [0,255].
+    scale_ = 1.0;
+    for (const auto& row : train.features)
+      for (const double v : row)
+        if (v > 1.5) { scale_ = 1.0 / 255.0; break; }
+    Dataset scaled = train;
+    if (scale_ != 1.0)
+      for (auto& row : scaled.features)
+        for (auto& v : row) v *= scale_;
+    mlp_.fit(scaled.features, scaled.labels, config_);
+  }
+
+  int predict(std::span<const double> sample) const override {
+    return mlp_.predict(scaled(sample));
+  }
+
+  double score(std::span<const double> sample) const override {
+    return mlp_.attack_score(scaled(sample));
+  }
+
+  std::string name() const override { return "mlp"; }
+
+  const nn::Mlp& network() const noexcept { return mlp_; }
+
+ private:
+  std::vector<double> scaled(std::span<const double> sample) const {
+    std::vector<double> out(sample.begin(), sample.end());
+    if (scale_ != 1.0)
+      for (auto& v : out) v *= scale_;
+    return out;
+  }
+
+  nn::MlpConfig config_;
+  nn::Mlp mlp_;
+  double scale_ = 1.0;
+};
+
+}  // namespace p4iot::ml

@@ -1,0 +1,149 @@
+#include "ml/multiclass_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace p4iot::ml {
+
+namespace {
+
+double gini(const std::vector<std::size_t>& counts, std::size_t total) noexcept {
+  if (total == 0) return 0.0;
+  double sum_sq = 0.0;
+  for (const auto c : counts) {
+    const double p = static_cast<double>(c) / static_cast<double>(total);
+    sum_sq += p * p;
+  }
+  return 1.0 - sum_sq;
+}
+
+}  // namespace
+
+void MulticlassDecisionTree::fit(const std::vector<std::vector<double>>& features,
+                                 const std::vector<int>& labels, int num_classes) {
+  nodes_.clear();
+  num_classes_ = num_classes;
+  if (features.empty() || num_classes <= 0) return;
+  std::vector<std::size_t> indices(features.size());
+  std::iota(indices.begin(), indices.end(), std::size_t{0});
+  build(features, labels, indices, 0, indices.size(), 0);
+}
+
+int MulticlassDecisionTree::build(const std::vector<std::vector<double>>& features,
+                                  const std::vector<int>& labels,
+                                  std::vector<std::size_t>& indices, std::size_t begin,
+                                  std::size_t end, int depth) {
+  const std::size_t n = end - begin;
+  const auto k = static_cast<std::size_t>(num_classes_);
+
+  std::vector<std::size_t> counts(k, 0);
+  for (std::size_t i = begin; i < end; ++i)
+    ++counts[static_cast<std::size_t>(labels[indices[i]])];
+
+  const int node_index = static_cast<int>(nodes_.size());
+  nodes_.emplace_back();
+  auto& self = nodes_.back();
+  self.samples = n;
+  self.class_counts = counts;
+  self.majority = static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+
+  const double parent_gini = gini(counts, n);
+  const bool pure = counts[static_cast<std::size_t>(self.majority)] == n;
+  if (depth >= config_.max_depth || n < config_.min_samples_split || pure)
+    return node_index;
+
+  // Best split across all features.
+  const std::size_t dim = features[0].size();
+  int best_feature = -1;
+  double best_threshold = 0.0, best_decrease = 0.0;
+  std::vector<std::pair<double, int>> column(n);
+  std::vector<std::size_t> left_counts(k);
+  for (std::size_t f = 0; f < dim; ++f) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto idx = indices[begin + i];
+      column[i] = {features[idx][f], labels[idx]};
+    }
+    std::sort(column.begin(), column.end());
+    if (column.front().first == column.back().first) continue;
+
+    std::fill(left_counts.begin(), left_counts.end(), 0);
+    std::size_t left_n = 0;
+    for (std::size_t i = 0; i + 1 < n; ++i) {
+      ++left_counts[static_cast<std::size_t>(column[i].second)];
+      ++left_n;
+      if (column[i].first == column[i + 1].first) continue;
+      const std::size_t right_n = n - left_n;
+      if (left_n < config_.min_samples_leaf || right_n < config_.min_samples_leaf)
+        continue;
+      std::vector<std::size_t> right_counts(k);
+      for (std::size_t c = 0; c < k; ++c) right_counts[c] = counts[c] - left_counts[c];
+      const double weighted =
+          (static_cast<double>(left_n) * gini(left_counts, left_n) +
+           static_cast<double>(right_n) * gini(right_counts, right_n)) /
+          static_cast<double>(n);
+      const double decrease = parent_gini - weighted;
+      if (decrease > best_decrease) {
+        best_feature = static_cast<int>(f);
+        best_threshold = (column[i].first + column[i + 1].first) / 2.0;
+        best_decrease = decrease;
+      }
+    }
+  }
+
+  if (best_feature < 0 || best_decrease < config_.min_impurity_decrease)
+    return node_index;
+
+  const auto mid_it = std::partition(
+      indices.begin() + static_cast<std::ptrdiff_t>(begin),
+      indices.begin() + static_cast<std::ptrdiff_t>(end), [&](std::size_t idx) {
+        return features[idx][static_cast<std::size_t>(best_feature)] <= best_threshold;
+      });
+  const auto mid = static_cast<std::size_t>(mid_it - indices.begin());
+  if (mid == begin || mid == end) return node_index;
+
+  nodes_[static_cast<std::size_t>(node_index)].feature = best_feature;
+  nodes_[static_cast<std::size_t>(node_index)].threshold = best_threshold;
+  const int left = build(features, labels, indices, begin, mid, depth + 1);
+  const int right = build(features, labels, indices, mid, end, depth + 1);
+  nodes_[static_cast<std::size_t>(node_index)].left = left;
+  nodes_[static_cast<std::size_t>(node_index)].right = right;
+  return node_index;
+}
+
+int MulticlassDecisionTree::leaf_index(std::span<const double> sample) const {
+  if (nodes_.empty()) return -1;
+  int i = 0;
+  while (!nodes_[static_cast<std::size_t>(i)].is_leaf()) {
+    const auto& node = nodes_[static_cast<std::size_t>(i)];
+    const auto f = static_cast<std::size_t>(node.feature);
+    const double v = f < sample.size() ? sample[f] : 0.0;
+    i = v <= node.threshold ? node.left : node.right;
+  }
+  return i;
+}
+
+int MulticlassDecisionTree::predict(std::span<const double> sample) const {
+  const int leaf = leaf_index(sample);
+  return leaf < 0 ? 0 : nodes_[static_cast<std::size_t>(leaf)].majority;
+}
+
+double MulticlassDecisionTree::class_probability(std::span<const double> sample,
+                                                 int cls) const {
+  const int leaf = leaf_index(sample);
+  if (leaf < 0 || cls < 0 || cls >= num_classes_) return 0.0;
+  const auto& node = nodes_[static_cast<std::size_t>(leaf)];
+  return node.samples ? static_cast<double>(
+                            node.class_counts[static_cast<std::size_t>(cls)]) /
+                            static_cast<double>(node.samples)
+                      : 0.0;
+}
+
+std::size_t MulticlassDecisionTree::leaf_count() const noexcept {
+  std::size_t count = 0;
+  for (const auto& node : nodes_) count += node.is_leaf() ? 1 : 0;
+  return count;
+}
+
+}  // namespace p4iot::ml

@@ -1,0 +1,70 @@
+// Multiclass CART (Gini impurity over k classes).
+//
+// Used by the class-aware variant of stage-2 rule synthesis: with attack
+// *families* as classes (0 = benign), leaves separate families that a
+// binary-objective tree would happily merge, so the compiled rules carry
+// accurate identification tags.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace p4iot::ml {
+
+struct MulticlassTreeNode {
+  int feature = -1;
+  double threshold = 0.0;
+  int left = -1;
+  int right = -1;
+  std::vector<std::size_t> class_counts;  ///< per-class training samples
+  int majority = 0;
+  std::size_t samples = 0;
+
+  bool is_leaf() const noexcept { return left < 0; }
+  double majority_fraction() const noexcept {
+    return samples ? static_cast<double>(
+                         class_counts[static_cast<std::size_t>(majority)]) /
+                         static_cast<double>(samples)
+                   : 0.0;
+  }
+};
+
+struct MulticlassTreeConfig {
+  int max_depth = 8;
+  std::size_t min_samples_split = 8;
+  std::size_t min_samples_leaf = 2;
+  double min_impurity_decrease = 1e-7;
+};
+
+class MulticlassDecisionTree {
+ public:
+  MulticlassDecisionTree() = default;
+  explicit MulticlassDecisionTree(MulticlassTreeConfig config) : config_(config) {}
+
+  /// labels must be in [0, num_classes).
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels, int num_classes);
+
+  int predict(std::span<const double> sample) const;
+  /// P(class | leaf) for one class.
+  double class_probability(std::span<const double> sample, int cls) const;
+  int leaf_index(std::span<const double> sample) const;
+
+  const std::vector<MulticlassTreeNode>& nodes() const noexcept { return nodes_; }
+  bool trained() const noexcept { return !nodes_.empty(); }
+  int num_classes() const noexcept { return num_classes_; }
+  std::size_t leaf_count() const noexcept;
+
+ private:
+  int build(const std::vector<std::vector<double>>& features,
+            const std::vector<int>& labels, std::vector<std::size_t>& indices,
+            std::size_t begin, std::size_t end, int depth);
+
+  MulticlassTreeConfig config_;
+  std::vector<MulticlassTreeNode> nodes_;
+  int num_classes_ = 0;
+};
+
+}  // namespace p4iot::ml

@@ -1,0 +1,65 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace p4iot::ml {
+
+void GaussianNaiveBayes::fit(const Dataset& train) {
+  trained_ = false;
+  const std::size_t d = train.dim();
+  std::size_t count[2] = {0, 0};
+  for (int cls = 0; cls < 2; ++cls) {
+    mean_[cls].assign(d, 0.0);
+    var_[cls].assign(d, 0.0);
+  }
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const int cls = train.labels[i] ? 1 : 0;
+    ++count[cls];
+    for (std::size_t j = 0; j < d; ++j) mean_[cls][j] += train.features[i][j];
+  }
+  if (count[0] == 0 || count[1] == 0) return;  // need both classes
+  for (int cls = 0; cls < 2; ++cls)
+    for (auto& m : mean_[cls]) m /= static_cast<double>(count[cls]);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    const int cls = train.labels[i] ? 1 : 0;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = train.features[i][j] - mean_[cls][j];
+      var_[cls][j] += diff * diff;
+    }
+  }
+  for (int cls = 0; cls < 2; ++cls) {
+    for (auto& v : var_[cls]) v = v / static_cast<double>(count[cls]) + 1e-3;  // smoothing
+    log_prior_[cls] = std::log(static_cast<double>(count[cls]) /
+                               static_cast<double>(train.size()));
+  }
+  trained_ = true;
+}
+
+double GaussianNaiveBayes::log_likelihood(std::span<const double> sample, int cls) const {
+  double ll = log_prior_[cls];
+  const std::size_t d = mean_[cls].size();
+  for (std::size_t j = 0; j < d; ++j) {
+    const double x = j < sample.size() ? sample[j] : 0.0;
+    const double diff = x - mean_[cls][j];
+    ll += -0.5 * (std::log(2.0 * 3.14159265358979323846 * var_[cls][j]) +
+                  diff * diff / var_[cls][j]);
+  }
+  return ll;
+}
+
+double GaussianNaiveBayes::score(std::span<const double> sample) const {
+  if (!trained_) return 0.0;
+  const double l0 = log_likelihood(sample, 0);
+  const double l1 = log_likelihood(sample, 1);
+  // Stable softmax over the two log-likelihoods.
+  const double m = std::max(l0, l1);
+  const double e0 = std::exp(l0 - m);
+  const double e1 = std::exp(l1 - m);
+  return e1 / (e0 + e1);
+}
+
+int GaussianNaiveBayes::predict(std::span<const double> sample) const {
+  return score(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace p4iot::ml

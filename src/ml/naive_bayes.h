@@ -1,0 +1,24 @@
+// Gaussian naive Bayes detector.
+#pragma once
+
+#include "ml/dataset.h"
+
+namespace p4iot::ml {
+
+class GaussianNaiveBayes final : public Classifier {
+ public:
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;  ///< P(attack|x)
+  std::string name() const override { return "naive-bayes"; }
+
+ private:
+  double log_likelihood(std::span<const double> sample, int cls) const;
+
+  // Per-class feature means/variances and log priors; index 0/1 = class.
+  std::vector<double> mean_[2], var_[2];
+  double log_prior_[2] = {0.0, 0.0};
+  bool trained_ = false;
+};
+
+}  // namespace p4iot::ml

@@ -1,0 +1,45 @@
+#include "ml/random_forest.h"
+
+#include <cmath>
+
+namespace p4iot::ml {
+
+void RandomForest::fit(const Dataset& train) {
+  trees_.clear();
+  if (train.empty()) return;
+  common::Rng rng(config_.seed);
+
+  DecisionTreeConfig tree_config = config_.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = static_cast<std::size_t>(
+        std::ceil(std::sqrt(static_cast<double>(train.dim()))));
+  }
+
+  const auto bootstrap_n = static_cast<std::size_t>(
+      config_.bootstrap_fraction * static_cast<double>(train.size()));
+  for (std::size_t t = 0; t < config_.num_trees; ++t) {
+    Dataset sample;
+    sample.features.reserve(bootstrap_n);
+    sample.labels.reserve(bootstrap_n);
+    for (std::size_t i = 0; i < bootstrap_n; ++i) {
+      const auto idx = static_cast<std::size_t>(rng.next_below(train.size()));
+      sample.add(train.features[idx], train.labels[idx]);
+    }
+    tree_config.seed = rng.next_u64();
+    trees_.emplace_back(tree_config);
+    trees_.back().fit(sample);
+  }
+}
+
+double RandomForest::score(std::span<const double> sample) const {
+  if (trees_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& tree : trees_) sum += tree.score(sample);
+  return sum / static_cast<double>(trees_.size());
+}
+
+int RandomForest::predict(std::span<const double> sample) const {
+  return score(sample) >= 0.5 ? 1 : 0;
+}
+
+}  // namespace p4iot::ml

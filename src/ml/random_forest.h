@@ -1,0 +1,32 @@
+// Random forest: bagged CART trees with per-split feature subsampling.
+#pragma once
+
+#include "ml/decision_tree.h"
+
+namespace p4iot::ml {
+
+struct RandomForestConfig {
+  std::size_t num_trees = 15;
+  DecisionTreeConfig tree;       ///< tree.max_features 0 → sqrt(dim) is used
+  double bootstrap_fraction = 1.0;
+  std::uint64_t seed = 5;
+};
+
+class RandomForest final : public Classifier {
+ public:
+  RandomForest() = default;
+  explicit RandomForest(RandomForestConfig config) : config_(config) {}
+
+  void fit(const Dataset& train) override;
+  int predict(std::span<const double> sample) const override;
+  double score(std::span<const double> sample) const override;  ///< mean tree prob
+  std::string name() const override { return "random-forest"; }
+
+  std::size_t tree_count() const noexcept { return trees_.size(); }
+
+ private:
+  RandomForestConfig config_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace p4iot::ml

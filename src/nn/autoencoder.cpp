@@ -1,0 +1,138 @@
+#include "nn/autoencoder.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace p4iot::nn {
+
+void Autoencoder::fit(const std::vector<std::vector<double>>& features,
+                      const AutoencoderConfig& config) {
+  layers_.clear();
+  encoder_depth_ = 0;
+  bottleneck_dim_ = 0;
+  if (features.empty() || config.encoder_sizes.empty()) return;
+
+  common::Rng rng(config.seed);
+  const std::size_t input_dim = features[0].size();
+
+  // Encoder.
+  std::size_t prev = input_dim;
+  for (const std::size_t h : config.encoder_sizes) {
+    layers_.emplace_back(prev, h, Activation::kRelu, rng);
+    prev = h;
+  }
+  encoder_depth_ = layers_.size();
+  bottleneck_dim_ = prev;
+  // Mirrored decoder; sigmoid output to match [0,1] inputs.
+  for (std::size_t i = config.encoder_sizes.size(); i-- > 1;) {
+    layers_.emplace_back(prev, config.encoder_sizes[i - 1], Activation::kRelu, rng);
+    prev = config.encoder_sizes[i - 1];
+  }
+  layers_.emplace_back(prev, input_dim, Activation::kSigmoid, rng);
+
+  const std::size_t n = features.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::int64_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(std::span<std::size_t>(order));
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      const std::size_t batch_n = end - start;
+      Matrix x(batch_n, input_dim);
+      for (std::size_t i = 0; i < batch_n; ++i)
+        std::copy(features[order[start + i]].begin(), features[order[start + i]].end(),
+                  x.row(i).begin());
+
+      Matrix out = x;
+      for (auto& layer : layers_) out = layer.forward(out);
+
+      // MSE loss; gradient = 2(out - x) / (batch * dim).
+      double loss = 0.0;
+      Matrix grad(batch_n, input_dim);
+      const double scale = 2.0 / static_cast<double>(batch_n * input_dim);
+      for (std::size_t i = 0; i < batch_n; ++i) {
+        const auto xo = x.row(i);
+        const auto yo = out.row(i);
+        const auto go = grad.row(i);
+        for (std::size_t j = 0; j < input_dim; ++j) {
+          const double diff = yo[j] - xo[j];
+          loss += diff * diff;
+          go[j] = diff * scale;
+        }
+      }
+      epoch_loss += loss / static_cast<double>(batch_n * input_dim);
+      ++batches;
+
+      for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = it->backward(grad);
+      ++step;
+      for (auto& layer : layers_) layer.adam_step(config.adam, step);
+    }
+
+    if (config.verbose) {
+      P4IOT_LOG_INFO("autoencoder", "epoch %d/%d mse=%.6f", epoch + 1, config.epochs,
+                     batches ? epoch_loss / static_cast<double>(batches) : 0.0);
+    }
+  }
+}
+
+Matrix Autoencoder::forward(const Matrix& batch) const {
+  auto& self = const_cast<Autoencoder&>(*this);
+  Matrix out = batch;
+  for (auto& layer : self.layers_) out = layer.forward(out);
+  return out;
+}
+
+std::vector<double> Autoencoder::reconstruct(std::span<const double> sample) const {
+  if (layers_.empty()) return {};
+  const Matrix out = forward(Matrix::from_row(sample));
+  const auto row = out.row(0);
+  return {row.begin(), row.end()};
+}
+
+double Autoencoder::reconstruction_error(std::span<const double> sample) const {
+  const auto recon = reconstruct(sample);
+  if (recon.size() != sample.size() || recon.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < recon.size(); ++i) {
+    const double diff = recon[i] - sample[i];
+    sum += diff * diff;
+  }
+  return sum / static_cast<double>(recon.size());
+}
+
+std::vector<double> Autoencoder::encode(std::span<const double> sample) const {
+  if (layers_.empty()) return {};
+  auto& self = const_cast<Autoencoder&>(*this);
+  Matrix out = Matrix::from_row(sample);
+  for (std::size_t i = 0; i < encoder_depth_; ++i) out = self.layers_[i].forward(out);
+  const auto row = out.row(0);
+  return {row.begin(), row.end()};
+}
+
+std::vector<double> Autoencoder::input_importance() const {
+  if (layers_.empty()) return {};
+  const Matrix& w = layers_.front().weights();  // (inputs × h1)
+  std::vector<double> importance(w.rows(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < w.rows(); ++i) {
+    double sum_sq = 0.0;
+    const auto row = w.row(i);
+    for (const double v : row) sum_sq += v * v;
+    importance[i] = std::sqrt(sum_sq);
+    total += importance[i];
+  }
+  if (total > 0)
+    for (auto& v : importance) v /= total;
+  return importance;
+}
+
+}  // namespace p4iot::nn

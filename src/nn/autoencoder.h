@@ -1,0 +1,63 @@
+// Stacked autoencoder over raw header bytes.
+//
+// Stage-1 uses it two ways:
+//  * unsupervised structure signal: per-input importance derived from the
+//    learned encoder weights (bytes that carry variance the reconstruction
+//    needs get large first-layer weight norms; constant/noise bytes do not);
+//  * anomaly scoring: per-sample reconstruction error, used by tests and the
+//    drift monitor.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace p4iot::nn {
+
+struct AutoencoderConfig {
+  /// Encoder layer widths; the decoder mirrors them. E.g. {32, 16} over a
+  /// 64-d input builds 64→32→16→32→64.
+  std::vector<std::size_t> encoder_sizes = {32, 16};
+  int epochs = 15;
+  std::size_t batch_size = 64;
+  AdamConfig adam;
+  std::uint64_t seed = 11;
+  bool verbose = false;
+};
+
+class Autoencoder {
+ public:
+  Autoencoder() = default;
+
+  /// Train to reconstruct the inputs (values expected in [0,1]; the output
+  /// layer is sigmoid). Builds a fresh network each call.
+  void fit(const std::vector<std::vector<double>>& features,
+           const AutoencoderConfig& config);
+
+  std::vector<double> reconstruct(std::span<const double> sample) const;
+  /// Mean squared reconstruction error for one sample.
+  double reconstruction_error(std::span<const double> sample) const;
+  /// Bottleneck encoding of one sample.
+  std::vector<double> encode(std::span<const double> sample) const;
+
+  /// Per-input importance: L2 norm of the first encoder layer's weight row,
+  /// normalized to sum to 1. Large = the byte feeds the learned code.
+  std::vector<double> input_importance() const;
+
+  bool trained() const noexcept { return !layers_.empty(); }
+  std::size_t input_dim() const noexcept {
+    return layers_.empty() ? 0 : layers_.front().inputs();
+  }
+  std::size_t bottleneck_dim() const noexcept { return bottleneck_dim_; }
+
+ private:
+  Matrix forward(const Matrix& batch) const;
+
+  std::vector<DenseLayer> layers_;
+  std::size_t encoder_depth_ = 0;  ///< layers [0, encoder_depth_) encode
+  std::size_t bottleneck_dim_ = 0;
+};
+
+}  // namespace p4iot::nn

@@ -1,0 +1,103 @@
+#include "nn/layers.h"
+
+#include <cmath>
+
+namespace p4iot::nn {
+
+const char* activation_name(Activation a) noexcept {
+  switch (a) {
+    case Activation::kIdentity: return "identity";
+    case Activation::kRelu: return "relu";
+    case Activation::kSigmoid: return "sigmoid";
+    case Activation::kTanh: return "tanh";
+  }
+  return "?";
+}
+
+DenseLayer::DenseLayer(std::size_t inputs, std::size_t outputs, Activation activation,
+                       common::Rng& rng)
+    : weights_(inputs, outputs),
+      biases_(1, outputs),
+      activation_(activation),
+      grad_w_(inputs, outputs),
+      grad_b_(1, outputs),
+      m_w_(inputs, outputs),
+      v_w_(inputs, outputs),
+      m_b_(1, outputs),
+      v_b_(1, outputs) {
+  // He init for ReLU, Xavier otherwise.
+  const double scale = activation == Activation::kRelu
+                           ? std::sqrt(2.0 / static_cast<double>(inputs))
+                           : std::sqrt(1.0 / static_cast<double>(inputs));
+  for (double& w : weights_.flat()) w = rng.normal(0.0, scale);
+}
+
+const Matrix& DenseLayer::forward(const Matrix& x) {
+  input_ = x;
+  output_ = x.matmul(weights_);
+  for (std::size_t r = 0; r < output_.rows(); ++r) {
+    auto row = output_.row(r);
+    for (std::size_t c = 0; c < output_.cols(); ++c) {
+      double v = row[c] + biases_(0, c);
+      switch (activation_) {
+        case Activation::kIdentity: break;
+        case Activation::kRelu: v = v > 0 ? v : 0.0; break;
+        case Activation::kSigmoid: v = 1.0 / (1.0 + std::exp(-v)); break;
+        case Activation::kTanh: v = std::tanh(v); break;
+      }
+      row[c] = v;
+    }
+  }
+  return output_;
+}
+
+Matrix DenseLayer::backward(const Matrix& grad_output) {
+  // dL/d(pre-activation) from dL/d(output), using post-activation values
+  // (valid for relu/sigmoid/tanh which are expressible via their outputs).
+  Matrix delta = grad_output;
+  for (std::size_t r = 0; r < delta.rows(); ++r) {
+    auto d = delta.row(r);
+    const auto y = output_.row(r);
+    for (std::size_t c = 0; c < delta.cols(); ++c) {
+      switch (activation_) {
+        case Activation::kIdentity: break;
+        case Activation::kRelu: d[c] *= (y[c] > 0 ? 1.0 : 0.0); break;
+        case Activation::kSigmoid: d[c] *= y[c] * (1.0 - y[c]); break;
+        case Activation::kTanh: d[c] *= 1.0 - y[c] * y[c]; break;
+      }
+    }
+  }
+
+  grad_w_.add_in_place(input_.transposed_matmul(delta));
+  for (std::size_t r = 0; r < delta.rows(); ++r) {
+    const auto d = delta.row(r);
+    for (std::size_t c = 0; c < delta.cols(); ++c) grad_b_(0, c) += d[c];
+  }
+  return delta.matmul_transposed(weights_);
+}
+
+void DenseLayer::adam_step(const AdamConfig& config, std::int64_t t) {
+  const double bc1 = 1.0 - std::pow(config.beta1, static_cast<double>(t));
+  const double bc2 = 1.0 - std::pow(config.beta2, static_cast<double>(t));
+
+  auto update = [&](Matrix& param, Matrix& grad, Matrix& m, Matrix& v, double l2) {
+    auto p = param.flat();
+    auto g = grad.flat();
+    auto mm = m.flat();
+    auto vv = v.flat();
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      const double gi = g[i] + l2 * p[i];
+      mm[i] = config.beta1 * mm[i] + (1.0 - config.beta1) * gi;
+      vv[i] = config.beta2 * vv[i] + (1.0 - config.beta2) * gi * gi;
+      const double m_hat = mm[i] / bc1;
+      const double v_hat = vv[i] / bc2;
+      p[i] -= config.learning_rate * m_hat / (std::sqrt(v_hat) + config.epsilon);
+    }
+  };
+  update(weights_, grad_w_, m_w_, v_w_, config.l2);
+  update(biases_, grad_b_, m_b_, v_b_, 0.0);
+  grad_w_.zero();
+  grad_b_.zero();
+}
+
+}  // namespace p4iot::nn

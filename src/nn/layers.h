@@ -1,0 +1,67 @@
+// Fully-connected layer with built-in activation and Adam state.
+//
+// Layers cache their forward inputs, so a layer instance handles one
+// forward/backward pair at a time (standard minibatch training loop).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "nn/matrix.h"
+
+namespace p4iot::nn {
+
+enum class Activation : std::uint8_t { kIdentity = 0, kRelu = 1, kSigmoid = 2, kTanh = 3 };
+
+const char* activation_name(Activation a) noexcept;
+
+/// Hyper-parameters of one Adam update step.
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double l2 = 0.0;  ///< weight decay applied to W (not b)
+};
+
+class DenseLayer {
+ public:
+  /// He/Xavier-style initialization scaled for the activation.
+  DenseLayer(std::size_t inputs, std::size_t outputs, Activation activation,
+             common::Rng& rng);
+
+  /// x: (batch × inputs) → (batch × outputs).
+  const Matrix& forward(const Matrix& x);
+
+  /// grad_output: (batch × outputs) ∂L/∂y → returns ∂L/∂x and accumulates
+  /// parameter gradients (averaged over the batch by the caller's scale).
+  Matrix backward(const Matrix& grad_output);
+
+  /// Apply one Adam step using accumulated gradients, then clear them.
+  /// `t` is the 1-based global step (for bias correction).
+  void adam_step(const AdamConfig& config, std::int64_t t);
+
+  std::size_t inputs() const noexcept { return weights_.rows(); }
+  std::size_t outputs() const noexcept { return weights_.cols(); }
+  Activation activation() const noexcept { return activation_; }
+
+  const Matrix& weights() const noexcept { return weights_; }
+  const Matrix& biases() const noexcept { return biases_; }
+  Matrix& mutable_weights() noexcept { return weights_; }
+  Matrix& mutable_biases() noexcept { return biases_; }
+
+ private:
+  Matrix weights_;  ///< (inputs × outputs)
+  Matrix biases_;   ///< (1 × outputs)
+  Activation activation_;
+
+  // Forward caches.
+  Matrix input_;
+  Matrix output_;
+
+  // Accumulated gradients and Adam moments.
+  Matrix grad_w_, grad_b_;
+  Matrix m_w_, v_w_, m_b_, v_b_;
+};
+
+}  // namespace p4iot::nn

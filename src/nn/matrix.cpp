@@ -1,0 +1,68 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+
+namespace p4iot::nn {
+
+Matrix Matrix::matmul(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const auto src = other.row(k);
+      const auto dst = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) dst[j] += a * src[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::matmul_transposed(const Matrix& other) const {
+  assert(cols_ == other.cols_);
+  Matrix out(rows_, other.rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const auto a = row(i);
+    for (std::size_t j = 0; j < other.rows_; ++j) {
+      const auto b = other.row(j);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < cols_; ++k) sum += a[k] * b[k];
+      out(i, j) = sum;
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed_matmul(const Matrix& other) const {
+  assert(rows_ == other.rows_);
+  Matrix out(cols_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const auto a = row(r);
+    const auto b = other.row(r);
+    for (std::size_t i = 0; i < cols_; ++i) {
+      if (a[i] == 0.0) continue;
+      const auto dst = out.row(i);
+      for (std::size_t j = 0; j < other.cols_; ++j) dst[j] += a[i] * b[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i)
+    for (std::size_t j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  return out;
+}
+
+void Matrix::add_in_place(const Matrix& other) {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::scale_in_place(double factor) noexcept {
+  for (auto& v : data_) v *= factor;
+}
+
+}  // namespace p4iot::nn

@@ -1,0 +1,81 @@
+// Dense row-major matrix — the numeric workhorse of the NN substrate.
+//
+// Deliberately minimal: the paper's models are small MLPs/autoencoders over
+// ≤64-dimensional inputs, so clarity beats BLAS. All shapes are checked with
+// assertions (shape bugs are programming errors, not runtime conditions).
+#pragma once
+
+#include <cassert>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace p4iot::nn {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix from_row(std::span<const double> row) {
+    Matrix m(1, row.size());
+    for (std::size_t j = 0; j < row.size(); ++j) m(0, j) = row[j];
+    return m;
+  }
+
+  static Matrix from_rows(const std::vector<std::vector<double>>& rows) {
+    if (rows.empty()) return {};
+    Matrix m(rows.size(), rows[0].size());
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      assert(rows[i].size() == m.cols_);
+      for (std::size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+    }
+    return m;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  std::span<double> row(std::size_t r) noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const noexcept {
+    assert(r < rows_);
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  std::span<double> flat() noexcept { return data_; }
+  std::span<const double> flat() const noexcept { return data_; }
+
+  /// this (m×k) times other (k×n) → (m×n).
+  Matrix matmul(const Matrix& other) const;
+  /// this (m×k) times otherᵀ where other is (n×k) → (m×n).
+  Matrix matmul_transposed(const Matrix& other) const;
+  /// thisᵀ (k×m) times other sharing rows: this is (r×m), other (r×n) → (m×n).
+  Matrix transposed_matmul(const Matrix& other) const;
+
+  Matrix transposed() const;
+
+  void add_in_place(const Matrix& other);
+  void scale_in_place(double factor) noexcept;
+  void zero() noexcept { std::fill(data_.begin(), data_.end(), 0.0); }
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace p4iot::nn

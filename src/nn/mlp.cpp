@@ -1,0 +1,186 @@
+#include "nn/mlp.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+
+namespace p4iot::nn {
+
+void softmax_rows(Matrix& logits) {
+  for (std::size_t r = 0; r < logits.rows(); ++r) {
+    auto row = logits.row(r);
+    const double max_v = *std::max_element(row.begin(), row.end());
+    double sum = 0.0;
+    for (auto& v : row) {
+      v = std::exp(v - max_v);
+      sum += v;
+    }
+    for (auto& v : row) v /= sum;
+  }
+}
+
+double cross_entropy(const Matrix& probabilities, std::span<const int> labels) {
+  double loss = 0.0;
+  for (std::size_t r = 0; r < probabilities.rows(); ++r) {
+    const auto label = static_cast<std::size_t>(labels[r]);
+    loss -= std::log(std::max(probabilities(r, label), 1e-12));
+  }
+  return probabilities.rows() ? loss / static_cast<double>(probabilities.rows()) : 0.0;
+}
+
+void Mlp::fit(const std::vector<std::vector<double>>& features,
+              const std::vector<int>& labels, const MlpConfig& config) {
+  config_ = config;
+  layers_.clear();
+  if (features.empty()) return;
+
+  common::Rng rng(config.seed);
+  const std::size_t input_dim = features[0].size();
+  std::size_t prev = input_dim;
+  for (const std::size_t h : config.hidden_sizes) {
+    layers_.emplace_back(prev, h, config.hidden_activation, rng);
+    prev = h;
+  }
+  layers_.emplace_back(prev, config.num_classes, Activation::kIdentity, rng);
+
+  const std::size_t n = features.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+
+  std::int64_t step = 0;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(std::span<std::size_t>(order));
+    double epoch_loss = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < n; start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, n);
+      const std::size_t batch_n = end - start;
+      Matrix x(batch_n, input_dim);
+      std::vector<int> y(batch_n);
+      for (std::size_t i = 0; i < batch_n; ++i) {
+        const auto idx = order[start + i];
+        std::copy(features[idx].begin(), features[idx].end(), x.row(i).begin());
+        y[i] = labels[idx];
+      }
+
+      Matrix probs = x;
+      for (auto& layer : layers_) probs = layer.forward(probs);
+      softmax_rows(probs);
+      epoch_loss += cross_entropy(probs, y);
+      ++batches;
+
+      // Softmax+CE gradient: (p - onehot) / batch.
+      Matrix grad = probs;
+      for (std::size_t i = 0; i < batch_n; ++i)
+        grad(i, static_cast<std::size_t>(y[i])) -= 1.0;
+      grad.scale_in_place(1.0 / static_cast<double>(batch_n));
+
+      for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+        grad = it->backward(grad);
+
+      ++step;
+      for (auto& layer : layers_) layer.adam_step(config.adam, step);
+    }
+
+    if (config.verbose) {
+      P4IOT_LOG_INFO("mlp", "epoch %d/%d loss=%.5f", epoch + 1, config.epochs,
+                     batches ? epoch_loss / static_cast<double>(batches) : 0.0);
+    }
+  }
+}
+
+Matrix Mlp::forward(const Matrix& batch) const {
+  // Layer caches are training scratch; prediction paths reuse them safely in
+  // a single-threaded pipeline.
+  auto& self = const_cast<Mlp&>(*this);
+  Matrix out = batch;
+  for (auto& layer : self.layers_) out = layer.forward(out);
+  return out;
+}
+
+std::vector<double> Mlp::predict_proba(std::span<const double> sample) const {
+  if (layers_.empty()) return {};
+  Matrix logits = forward(Matrix::from_row(sample));
+  softmax_rows(logits);
+  const auto row = logits.row(0);
+  return {row.begin(), row.end()};
+}
+
+int Mlp::predict(std::span<const double> sample) const {
+  const auto probs = predict_proba(sample);
+  if (probs.empty()) return 0;
+  return static_cast<int>(
+      std::max_element(probs.begin(), probs.end()) - probs.begin());
+}
+
+double Mlp::attack_score(std::span<const double> sample) const {
+  const auto probs = predict_proba(sample);
+  return probs.size() > 1 ? probs[1] : 0.0;
+}
+
+std::vector<double> Mlp::input_gradient_saliency(
+    const std::vector<std::vector<double>>& features,
+    const std::vector<int>& labels) const {
+  (void)labels;
+  if (layers_.empty() || features.empty()) return {};
+  auto& self = const_cast<Mlp&>(*this);
+  const std::size_t d = features[0].size();
+  const std::size_t classes = layers_.back().outputs();
+  std::vector<double> saliency(d, 0.0);
+
+  constexpr std::size_t kBatch = 256;
+  for (std::size_t start = 0; start < features.size(); start += kBatch) {
+    const std::size_t end = std::min(start + kBatch, features.size());
+    const std::size_t batch_n = end - start;
+    Matrix x(batch_n, d);
+    for (std::size_t i = 0; i < batch_n; ++i)
+      std::copy(features[start + i].begin(), features[start + i].end(), x.row(i).begin());
+
+    Matrix logits = x;
+    for (auto& layer : self.layers_) logits = layer.forward(logits);
+
+    // Margin gradient seed: +1 on the attack logit, -1 on the benign one
+    // (first class treated as reference for multi-class probes).
+    Matrix grad(batch_n, classes);
+    for (std::size_t i = 0; i < batch_n; ++i) {
+      grad(i, 0) = -1.0;
+      if (classes > 1) grad(i, 1) = 1.0;
+    }
+    for (auto it = self.layers_.rbegin(); it != self.layers_.rend(); ++it)
+      grad = it->backward(grad);
+
+    for (std::size_t i = 0; i < batch_n; ++i) {
+      const auto g = grad.row(i);
+      for (std::size_t j = 0; j < d; ++j) saliency[j] += std::abs(g[j]);
+    }
+  }
+
+  const double inv_n = 1.0 / static_cast<double>(features.size());
+  for (auto& s : saliency) s *= inv_n;
+
+  // Gradient × input-deviation: weight each dimension by how much it
+  // actually varies in the data.
+  std::vector<double> mean(d, 0.0), var(d, 0.0);
+  for (const auto& row : features)
+    for (std::size_t j = 0; j < d; ++j) mean[j] += row[j];
+  for (auto& m : mean) m *= inv_n;
+  for (const auto& row : features)
+    for (std::size_t j = 0; j < d; ++j) {
+      const double diff = row[j] - mean[j];
+      var[j] += diff * diff;
+    }
+  for (std::size_t j = 0; j < d; ++j) saliency[j] *= std::sqrt(var[j] * inv_n);
+  return saliency;
+}
+
+std::size_t Mlp::parameter_count() const noexcept {
+  std::size_t total = 0;
+  for (const auto& layer : layers_)
+    total += layer.weights().size() + layer.biases().size();
+  return total;
+}
+
+}  // namespace p4iot::nn

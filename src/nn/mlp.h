@@ -1,0 +1,76 @@
+// Multi-layer perceptron classifier with softmax output.
+//
+// This is both (a) the "full deep model" baseline the paper compares
+// against, and (b) the supervised probe whose input-gradient saliency drives
+// stage-1 field selection.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/layers.h"
+
+namespace p4iot::nn {
+
+struct MlpConfig {
+  std::vector<std::size_t> hidden_sizes = {64, 32};
+  Activation hidden_activation = Activation::kRelu;
+  std::size_t num_classes = 2;
+  int epochs = 20;
+  std::size_t batch_size = 64;
+  AdamConfig adam;
+  std::uint64_t seed = 7;
+  bool verbose = false;  ///< log per-epoch loss at INFO
+};
+
+class Mlp {
+ public:
+  Mlp() = default;
+
+  /// Train on features (n × d) with integer labels in [0, num_classes).
+  /// Rebuilds the network from the config (fit = fresh model).
+  void fit(const std::vector<std::vector<double>>& features,
+           const std::vector<int>& labels, const MlpConfig& config);
+
+  /// Class probabilities for one sample.
+  std::vector<double> predict_proba(std::span<const double> sample) const;
+  int predict(std::span<const double> sample) const;
+
+  /// P(class 1) — attack score for the binary detector.
+  double attack_score(std::span<const double> sample) const;
+
+  /// Saliency per input dimension: mean |∂(logit₁ − logit₀)/∂x_i| scaled by
+  /// the standard deviation of x_i over the samples (gradient × input-
+  /// deviation attribution). Margin gradients are used instead of loss
+  /// gradients because the cross-entropy gradient (p − y) vanishes once the
+  /// probe is confident, washing out exactly the bytes that separate the
+  /// classes best; the deviation factor zeroes out constant bytes whose
+  /// never-trained random weights would otherwise leak phantom gradient.
+  /// Labels are accepted for interface symmetry but unused.
+  std::vector<double> input_gradient_saliency(
+      const std::vector<std::vector<double>>& features,
+      const std::vector<int>& labels) const;
+
+  bool trained() const noexcept { return !layers_.empty(); }
+  std::size_t input_dim() const noexcept {
+    return layers_.empty() ? 0 : layers_.front().inputs();
+  }
+  std::size_t parameter_count() const noexcept;
+  const std::vector<DenseLayer>& layers() const noexcept { return layers_; }
+
+ private:
+  Matrix forward(const Matrix& batch) const;  ///< logits (mutates layer caches)
+
+  std::vector<DenseLayer> layers_;
+  MlpConfig config_;
+};
+
+/// Softmax over each row, in place.
+void softmax_rows(Matrix& logits);
+
+/// Mean cross-entropy of softmaxed probabilities vs integer labels.
+double cross_entropy(const Matrix& probabilities, std::span<const int> labels);
+
+}  // namespace p4iot::nn

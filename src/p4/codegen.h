@@ -1,0 +1,32 @@
+// P4_16 source generation.
+//
+// Emits a V1Model-style program equivalent to the simulated pipeline: a
+// parser that advances to each selected byte offset and extracts the field,
+// a ternary firewall table, and permit/drop/mirror actions — plus the
+// runtime CLI entries that populate the table. Output is for inspection and
+// for loading onto a real target (bmv2/Tofino); the simulator executes the
+// same IR directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "p4/ir.h"
+#include "p4/rate_guard.h"
+
+namespace p4iot::p4 {
+
+/// Full P4_16 translation unit for the program. When `rate_guard` is given,
+/// the ingress additionally contains the register-based count-min stage
+/// (hash → register read-modify-write → threshold check).
+std::string generate_p4_source(const P4Program& program,
+                               const RateGuardSpec* rate_guard = nullptr);
+
+/// bmv2 simple_switch_CLI-style commands installing the entries.
+std::string generate_runtime_commands(const P4Program& program,
+                                      const std::vector<TableEntry>& entries);
+
+/// Sanitize an arbitrary field name into a valid P4 identifier.
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace p4iot::p4

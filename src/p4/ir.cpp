@@ -1,0 +1,42 @@
+#include "p4/ir.h"
+
+#include "common/bytes.h"
+
+namespace p4iot::p4 {
+
+const char* match_kind_name(MatchKind kind) noexcept {
+  switch (kind) {
+    case MatchKind::kExact: return "exact";
+    case MatchKind::kTernary: return "ternary";
+    case MatchKind::kLpm: return "lpm";
+    case MatchKind::kRange: return "range";
+  }
+  return "?";
+}
+
+const char* action_op_name(ActionOp op) noexcept {
+  switch (op) {
+    case ActionOp::kPermit: return "permit";
+    case ActionOp::kDrop: return "drop";
+    case ActionOp::kMirror: return "mirror_to_cpu";
+  }
+  return "?";
+}
+
+std::vector<std::uint64_t> ParserSpec::extract(std::span<const std::uint8_t> frame) const {
+  std::vector<std::uint64_t> values;
+  values.reserve(fields.size());
+  for (const auto& f : fields) {
+    // Zero-padded read: bytes past the end of the frame contribute zeros,
+    // consistent with the zero-filled header window the models trained on.
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < f.width; ++i) {
+      const std::size_t pos = f.offset + i;
+      v = (v << 8) | (pos < frame.size() ? frame[pos] : 0);
+    }
+    values.push_back(v);
+  }
+  return values;
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,85 @@
+#include "p4/minimize.h"
+
+#include <algorithm>
+
+namespace p4iot::p4 {
+
+namespace {
+
+/// True when a and b can join; if so, writes the merged entry to `out`.
+bool try_merge(const TableEntry& a, const TableEntry& b, TableEntry& out) {
+  if (a.action != b.action || a.priority != b.priority ||
+      a.attack_class != b.attack_class || a.fields.size() != b.fields.size())
+    return false;
+
+  int differing_field = -1;
+  for (std::size_t f = 0; f < a.fields.size(); ++f) {
+    const auto& fa = a.fields[f];
+    const auto& fb = b.fields[f];
+    if (fa.mask != fb.mask) return false;
+    if (fa.range_lo != fb.range_lo || fa.range_hi != fb.range_hi) return false;
+    if (fa.value == fb.value) continue;
+    if (differing_field >= 0) return false;  // more than one field differs
+    differing_field = static_cast<int>(f);
+  }
+  if (differing_field < 0) {
+    // Identical entries: dedup.
+    out = a;
+    return true;
+  }
+
+  const auto& fa = a.fields[static_cast<std::size_t>(differing_field)];
+  const auto& fb = b.fields[static_cast<std::size_t>(differing_field)];
+  const std::uint64_t diff = fa.value ^ fb.value;
+  if ((diff & (diff - 1)) != 0) return false;  // more than one bit differs
+  if ((diff & fa.mask) != diff) return false;  // the bit must be masked-in
+
+  out = a;
+  auto& merged = out.fields[static_cast<std::size_t>(differing_field)];
+  merged.mask &= ~diff;
+  merged.value &= merged.mask;
+  return true;
+}
+
+}  // namespace
+
+MinimizeResult minimize_entries(std::vector<TableEntry> entries) {
+  MinimizeResult result;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    ++result.passes;
+    std::vector<bool> consumed(entries.size(), false);
+    std::vector<TableEntry> next;
+    next.reserve(entries.size());
+
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (consumed[i]) continue;
+      TableEntry current = std::move(entries[i]);
+      // Greedily absorb every later entry that joins with the current one
+      // (joins can cascade: absorbing may enable further joins next pass).
+      for (std::size_t j = i + 1; j < entries.size(); ++j) {
+        if (consumed[j]) continue;
+        TableEntry merged;
+        if (try_merge(current, entries[j], merged)) {
+          current = std::move(merged);
+          consumed[j] = true;
+          ++result.merges;
+          changed = true;
+        }
+      }
+      next.push_back(std::move(current));
+    }
+    entries = std::move(next);
+  }
+
+  // Keep priority order stable for first-match evaluation.
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TableEntry& a, const TableEntry& b) {
+                     return a.priority > b.priority;
+                   });
+  result.entries = std::move(entries);
+  return result;
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,28 @@
+// TCAM rule minimization: prefix-joining of mergeable ternary entries.
+//
+// Two entries that share action, priority and class tag, agree on every
+// field but one, and in that field have equal masks with values differing
+// in exactly one *masked* bit, cover a union that is exactly expressible as
+// one entry with that bit wildcarded. Repeating to a fixed point is the
+// classic logic-minimization step (a restricted Quine-McCluskey) applied to
+// TCAM tables — behaviour-preserving by construction and often reclaiming a
+// third of the entries the range-to-prefix expansion produced.
+#pragma once
+
+#include <vector>
+
+#include "p4/table.h"
+
+namespace p4iot::p4 {
+
+struct MinimizeResult {
+  std::vector<TableEntry> entries;
+  std::size_t merges = 0;   ///< total pairwise joins performed
+  std::size_t passes = 0;   ///< fixed-point iterations
+};
+
+/// Minimize an entry set under the given keys. Semantics (the first-match
+/// verdict for every possible key vector) are preserved exactly.
+MinimizeResult minimize_entries(std::vector<TableEntry> entries);
+
+}  // namespace p4iot::p4

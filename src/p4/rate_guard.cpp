@@ -1,0 +1,49 @@
+#include "p4/rate_guard.h"
+
+namespace p4iot::p4 {
+
+std::uint64_t RateGuard::key_of(std::span<const std::uint8_t> frame) const {
+  // FNV-1a over the concatenated key-field bytes (zero-padded reads, same
+  // semantics as the parser).
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const auto& field : spec_.key_fields) {
+    for (std::size_t i = 0; i < field.width; ++i) {
+      const std::size_t pos = field.offset + i;
+      h ^= pos < frame.size() ? frame[pos] : 0;
+      h *= 0x100000001b3ULL;
+    }
+  }
+  return h;
+}
+
+bool RateGuard::observe(std::span<const std::uint8_t> frame, double timestamp_s) {
+  if (first_packet_) {
+    epoch_start_s_ = timestamp_s;
+    first_packet_ = false;
+  }
+  // Epoch boundaries: halve counters once per elapsed epoch (bounded to
+  // avoid pathological loops after long idle gaps).
+  int boundaries = 0;
+  while (timestamp_s - epoch_start_s_ >= spec_.epoch_seconds && boundaries < 64) {
+    sketch_.decay_halve();
+    epoch_start_s_ += spec_.epoch_seconds;
+    ++boundaries;
+  }
+  if (boundaries >= 64) epoch_start_s_ = timestamp_s;
+
+  const std::uint64_t estimate = sketch_.update(key_of(frame));
+  if (estimate > spec_.threshold) {
+    ++tripped_;
+    return true;
+  }
+  return false;
+}
+
+void RateGuard::reset() {
+  sketch_.clear();
+  first_packet_ = true;
+  epoch_start_s_ = 0.0;
+  tripped_ = 0;
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,55 @@
+// Stateful rate guard: sketch-based heavy-hitter detection in the pipeline.
+//
+// Per-packet match-action rules cannot catch attacks that are only defined
+// by *rate* — a flood of packets each indistinguishable from benign traffic.
+// The rate guard keys a count-min sketch on selected header fields
+// (typically the source identity), counts packets per epoch, and applies an
+// action when a key's estimated rate crosses the threshold — the classic
+// register-based P4 heavy-hitter pattern.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "p4/ir.h"
+#include "p4/sketch.h"
+
+namespace p4iot::p4 {
+
+struct RateGuardSpec {
+  /// Fields whose concatenated values identify the counted entity
+  /// (e.g., the source-address bytes).
+  std::vector<FieldRef> key_fields;
+  std::uint64_t threshold = 200;   ///< per-epoch packet estimate that trips
+  double epoch_seconds = 1.0;      ///< decay period
+  ActionOp action = ActionOp::kDrop;
+  SketchConfig sketch;
+};
+
+/// Runtime state of one rate guard inside a switch.
+class RateGuard {
+ public:
+  explicit RateGuard(RateGuardSpec spec)
+      : spec_(std::move(spec)), sketch_(spec_.sketch) {}
+
+  /// Count this packet; returns true when the key's rate estimate exceeds
+  /// the threshold (the guard's action should fire).
+  bool observe(std::span<const std::uint8_t> frame, double timestamp_s);
+
+  const RateGuardSpec& spec() const noexcept { return spec_; }
+  const CountMinSketch& sketch() const noexcept { return sketch_; }
+  std::uint64_t tripped_count() const noexcept { return tripped_; }
+  void reset();
+
+ private:
+  std::uint64_t key_of(std::span<const std::uint8_t> frame) const;
+
+  RateGuardSpec spec_;
+  CountMinSketch sketch_;
+  double epoch_start_s_ = 0.0;
+  bool first_packet_ = true;
+  std::uint64_t tripped_ = 0;
+};
+
+}  // namespace p4iot::p4

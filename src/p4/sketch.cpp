@@ -1,0 +1,54 @@
+#include "p4/sketch.h"
+
+#include <algorithm>
+
+namespace p4iot::p4 {
+
+namespace {
+/// SplitMix64 finalizer — the per-row hash.
+std::uint64_t mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+CountMinSketch::CountMinSketch(SketchConfig config)
+    : config_(config), counters_(config.rows * config.width, 0) {
+  std::uint64_t s = config_.seed;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    s += 0x9e3779b97f4a7c15ULL;
+    row_seeds_.push_back(mix(s));
+  }
+}
+
+std::size_t CountMinSketch::index(std::size_t row, std::uint64_t key) const noexcept {
+  return static_cast<std::size_t>(mix(key ^ row_seeds_[row]) % config_.width);
+}
+
+std::uint64_t CountMinSketch::update(std::uint64_t key, std::uint64_t increment) {
+  std::uint64_t minimum = ~0ULL;
+  for (std::size_t r = 0; r < config_.rows; ++r) {
+    auto& counter = counters_[r * config_.width + index(r, key)];
+    counter += increment;
+    minimum = std::min(minimum, counter);
+  }
+  return minimum;
+}
+
+std::uint64_t CountMinSketch::estimate(std::uint64_t key) const {
+  std::uint64_t minimum = ~0ULL;
+  for (std::size_t r = 0; r < config_.rows; ++r)
+    minimum = std::min(minimum, counters_[r * config_.width + index(r, key)]);
+  return minimum;
+}
+
+void CountMinSketch::decay_halve() {
+  for (auto& counter : counters_) counter >>= 1;
+}
+
+void CountMinSketch::clear() {
+  std::fill(counters_.begin(), counters_.end(), 0);
+}
+
+}  // namespace p4iot::p4

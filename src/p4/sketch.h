@@ -1,0 +1,53 @@
+// Count-min sketch over P4-style register arrays.
+//
+// Models the standard data-plane heavy-hitter primitive: d hash rows of w
+// saturating counters, updated per packet, read in the same pipeline pass.
+// Epoch-based aging (counters halve at each epoch boundary) approximates a
+// sliding rate window the way real P4 implementations do with paired
+// register banks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace p4iot::p4 {
+
+struct SketchConfig {
+  std::size_t rows = 3;       ///< independent hash functions (d)
+  std::size_t width = 1024;   ///< counters per row (w); power of two preferred
+  std::uint64_t seed = 0x9e3779b9;
+};
+
+class CountMinSketch {
+ public:
+  explicit CountMinSketch(SketchConfig config = {});
+
+  /// Add `increment` to the key's counters; returns the post-update
+  /// estimate (the min over rows — the value a P4 action would act on).
+  std::uint64_t update(std::uint64_t key, std::uint64_t increment = 1);
+
+  /// Point estimate without updating. Never underestimates the true count
+  /// within the current epoch.
+  std::uint64_t estimate(std::uint64_t key) const;
+
+  /// Age all counters by half (epoch boundary). Cheap model of the
+  /// two-bank register swap used on hardware.
+  void decay_halve();
+  void clear();
+
+  std::size_t rows() const noexcept { return config_.rows; }
+  std::size_t width() const noexcept { return config_.width; }
+  /// Register memory the sketch would occupy on-switch (32-bit counters).
+  std::size_t register_bits() const noexcept {
+    return config_.rows * config_.width * 32;
+  }
+
+ private:
+  std::size_t index(std::size_t row, std::uint64_t key) const noexcept;
+
+  SketchConfig config_;
+  std::vector<std::uint64_t> counters_;  ///< rows × width, row-major
+  std::vector<std::uint64_t> row_seeds_;
+};
+
+}  // namespace p4iot::p4

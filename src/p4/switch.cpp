@@ -1,0 +1,63 @@
+#include "p4/switch.h"
+
+namespace p4iot::p4 {
+
+P4Switch::P4Switch(P4Program program, std::size_t table_capacity)
+    : program_(std::move(program)),
+      table_("firewall", program_.keys, table_capacity, program_.default_action) {}
+
+Verdict P4Switch::process(const pkt::Packet& packet) {
+  const auto values = program_.parser.extract(packet.view());
+  auto result = table_.lookup(values);
+  std::uint8_t attack_class =
+      result.entry_index >= 0
+          ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
+          : 0;
+
+  // Stateful stage: only traffic the table lets through is rate-counted
+  // (dropped traffic never reaches the guard's registers).
+  if (rate_guard_ && result.action != ActionOp::kDrop &&
+      rate_guard_->observe(packet.view(), packet.timestamp_s)) {
+    result.action = rate_guard_->spec().action;
+    result.entry_index = -1;
+    attack_class = 0;
+    if (result.action == ActionOp::kDrop) ++stats_.rate_guard_drops;
+  }
+
+  ++stats_.packets;
+  stats_.bytes_in += packet.size();
+  switch (result.action) {
+    case ActionOp::kPermit:
+      ++stats_.permitted;
+      stats_.bytes_forwarded += packet.size();
+      break;
+    case ActionOp::kDrop:
+      ++stats_.dropped;
+      ++stats_.drops_by_class[attack_class & 0x0f];
+      break;
+    case ActionOp::kMirror:
+      ++stats_.mirrored;
+      stats_.bytes_forwarded += packet.size();
+      if (mirror_) mirror_(packet);
+      break;
+  }
+  return {result.action, result.entry_index, attack_class};
+}
+
+Verdict P4Switch::peek(const pkt::Packet& packet) const {
+  const auto values = program_.parser.extract(packet.view());
+  const auto result = table_.peek(values);
+  const std::uint8_t attack_class =
+      result.entry_index >= 0
+          ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
+          : 0;
+  return {result.action, result.entry_index, attack_class};
+}
+
+void P4Switch::reset_stats() {
+  stats_ = {};
+  table_.reset_counters();
+  if (rate_guard_) rate_guard_->reset();
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,157 @@
+#include "p4/table.h"
+
+#include <algorithm>
+
+namespace p4iot::p4 {
+
+const char* table_write_status_name(TableWriteStatus status) noexcept {
+  switch (status) {
+    case TableWriteStatus::kOk: return "ok";
+    case TableWriteStatus::kTableFull: return "table-full";
+    case TableWriteStatus::kKeyMismatch: return "key-mismatch";
+    case TableWriteStatus::kInvalidField: return "invalid-field";
+  }
+  return "?";
+}
+
+namespace {
+std::uint64_t width_mask(std::size_t bytes) noexcept {
+  return bytes >= 8 ? ~0ULL : ((1ULL << (bytes * 8)) - 1);
+}
+
+bool is_prefix_mask(std::uint64_t mask, std::size_t bits) noexcept {
+  // A valid LPM mask is a left-contiguous run of 1s within the field width.
+  const std::uint64_t full = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  if ((mask & ~full) != 0) return false;
+  const std::uint64_t inverted = (~mask) & full;
+  return (inverted & (inverted + 1)) == 0;  // low bits form 0...01...1
+}
+}  // namespace
+
+TableWriteStatus MatchActionTable::validate(const TableEntry& entry) const {
+  if (entry.fields.size() != keys_.size()) return TableWriteStatus::kKeyMismatch;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const auto& key = keys_[i];
+    const auto& f = entry.fields[i];
+    const std::uint64_t full = width_mask(key.field.width);
+    switch (key.kind) {
+      case MatchKind::kExact:
+        if ((f.value & ~full) != 0) return TableWriteStatus::kInvalidField;
+        break;
+      case MatchKind::kTernary:
+        if ((f.value & ~full) != 0 || (f.mask & ~full) != 0 || (f.value & ~f.mask) != 0)
+          return TableWriteStatus::kInvalidField;
+        break;
+      case MatchKind::kLpm:
+        if (!is_prefix_mask(f.mask, key.field.bit_width()) || (f.value & ~f.mask) != 0)
+          return TableWriteStatus::kInvalidField;
+        break;
+      case MatchKind::kRange:
+        if (f.range_lo > f.range_hi || (f.range_hi & ~full) != 0)
+          return TableWriteStatus::kInvalidField;
+        break;
+    }
+  }
+  return TableWriteStatus::kOk;
+}
+
+TableWriteStatus MatchActionTable::add_entry(TableEntry entry) {
+  if (entries_.size() >= capacity_) return TableWriteStatus::kTableFull;
+  const auto status = validate(entry);
+  if (status != TableWriteStatus::kOk) return status;
+
+  // Insert keeping priority order (desc); stable for equal priorities.
+  const auto pos = std::upper_bound(
+      entries_.begin(), entries_.end(), entry,
+      [](const TableEntry& a, const TableEntry& b) { return a.priority > b.priority; });
+  const auto idx = static_cast<std::size_t>(pos - entries_.begin());
+  entries_.insert(pos, std::move(entry));
+  hits_.insert(hits_.begin() + static_cast<std::ptrdiff_t>(idx), 0);
+  return TableWriteStatus::kOk;
+}
+
+bool MatchActionTable::remove_entry(std::size_t index) {
+  if (index >= entries_.size()) return false;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
+  hits_.erase(hits_.begin() + static_cast<std::ptrdiff_t>(index));
+  return true;
+}
+
+void MatchActionTable::clear() {
+  entries_.clear();
+  hits_.clear();
+  default_hits_ = 0;
+}
+
+TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entries) {
+  if (entries.size() > capacity_) return TableWriteStatus::kTableFull;
+  for (const auto& e : entries) {
+    const auto status = validate(e);
+    if (status != TableWriteStatus::kOk) return status;
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const TableEntry& a, const TableEntry& b) {
+                     return a.priority > b.priority;
+                   });
+  entries_ = std::move(entries);
+  hits_.assign(entries_.size(), 0);
+  default_hits_ = 0;
+  return TableWriteStatus::kOk;
+}
+
+bool MatchActionTable::matches(const TableEntry& entry,
+                               std::span<const std::uint64_t> values) const {
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    const auto v = i < values.size() ? values[i] : 0;
+    const auto& f = entry.fields[i];
+    switch (keys_[i].kind) {
+      case MatchKind::kExact:
+        if (v != f.value) return false;
+        break;
+      case MatchKind::kTernary:
+      case MatchKind::kLpm:
+        if ((v & f.mask) != f.value) return false;
+        break;
+      case MatchKind::kRange:
+        if (v < f.range_lo || v > f.range_hi) return false;
+        break;
+    }
+  }
+  return true;
+}
+
+LookupResult MatchActionTable::lookup(std::span<const std::uint64_t> values) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (matches(entries_[i], values)) {
+      ++hits_[i];
+      return {entries_[i].action, static_cast<std::int64_t>(i)};
+    }
+  }
+  ++default_hits_;
+  return {default_action_, -1};
+}
+
+LookupResult MatchActionTable::peek(std::span<const std::uint64_t> values) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (matches(entries_[i], values))
+      return {entries_[i].action, static_cast<std::int64_t>(i)};
+  }
+  return {default_action_, -1};
+}
+
+std::uint64_t MatchActionTable::hit_count(std::size_t entry_index) const {
+  return entry_index < hits_.size() ? hits_[entry_index] : 0;
+}
+
+void MatchActionTable::reset_counters() {
+  std::fill(hits_.begin(), hits_.end(), 0);
+  default_hits_ = 0;
+}
+
+std::size_t MatchActionTable::key_bits() const noexcept {
+  std::size_t bits = 0;
+  for (const auto& k : keys_) bits += k.field.bit_width();
+  return bits;
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,85 @@
+// Match-action table with a TCAM resource model.
+//
+// Entries are priority-ordered (highest first); lookup returns the first
+// matching entry's action. The TCAM model accounts entries against a
+// capacity budget and reports total key width, the figures of merit for the
+// paper's "efficiency" axis.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "p4/ir.h"
+
+namespace p4iot::p4 {
+
+/// Error codes for runtime table writes (status-style: table writes are
+/// expected to fail when the TCAM budget is exhausted).
+enum class TableWriteStatus : std::uint8_t {
+  kOk = 0,
+  kTableFull = 1,
+  kKeyMismatch = 2,    ///< entry field count != key count
+  kInvalidField = 3,   ///< value wider than the key / malformed range or lpm mask
+};
+
+const char* table_write_status_name(TableWriteStatus status) noexcept;
+
+struct LookupResult {
+  ActionOp action = ActionOp::kPermit;
+  std::int64_t entry_index = -1;  ///< -1 = default action
+};
+
+class MatchActionTable {
+ public:
+  MatchActionTable() = default;
+  MatchActionTable(std::string name, std::vector<KeySpec> keys, std::size_t capacity,
+                   ActionOp default_action = ActionOp::kPermit)
+      : name_(std::move(name)),
+        keys_(std::move(keys)),
+        capacity_(capacity),
+        default_action_(default_action) {}
+
+  TableWriteStatus add_entry(TableEntry entry);
+  bool remove_entry(std::size_t index);
+  void clear();
+  /// Replace the whole entry set atomically (controller reconfigurations).
+  TableWriteStatus replace_entries(std::vector<TableEntry> entries);
+
+  /// Match extracted key values against the entries; updates hit counters.
+  LookupResult lookup(std::span<const std::uint64_t> values);
+  /// Const lookup without counter updates (analysis passes).
+  LookupResult peek(std::span<const std::uint64_t> values) const;
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<KeySpec>& keys() const noexcept { return keys_; }
+  std::size_t entry_count() const noexcept { return entries_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  ActionOp default_action() const noexcept { return default_action_; }
+  void set_default_action(ActionOp action) noexcept { default_action_ = action; }
+
+  const std::vector<TableEntry>& entries() const noexcept { return entries_; }
+  std::uint64_t hit_count(std::size_t entry_index) const;
+  std::uint64_t default_hits() const noexcept { return default_hits_; }
+  void reset_counters();
+
+  /// Key width in bits (TCAM slice width).
+  std::size_t key_bits() const noexcept;
+  /// TCAM bit cost: entries × 2 × key width (value + mask planes).
+  std::size_t tcam_bits() const noexcept { return entries_.size() * 2 * key_bits(); }
+
+ private:
+  bool matches(const TableEntry& entry, std::span<const std::uint64_t> values) const;
+  TableWriteStatus validate(const TableEntry& entry) const;
+
+  std::string name_ = "table";
+  std::vector<KeySpec> keys_;
+  std::size_t capacity_ = 1024;
+  ActionOp default_action_ = ActionOp::kPermit;
+  std::vector<TableEntry> entries_;       ///< kept sorted by priority desc
+  std::vector<std::uint64_t> hits_;       ///< parallel to entries_
+  std::uint64_t default_hits_ = 0;
+};
+
+}  // namespace p4iot::p4

@@ -1,0 +1,59 @@
+// Address value types used across protocol builders and dissectors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace p4iot::pkt {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  static MacAddress from_u64(std::uint64_t v) noexcept {
+    MacAddress m;
+    for (int i = 5; i >= 0; --i) {
+      m.bytes[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+    return m;
+  }
+
+  std::uint64_t to_u64() const noexcept {
+    std::uint64_t v = 0;
+    for (auto b : bytes) v = (v << 8) | b;
+    return v;
+  }
+
+  std::string str() const { return common::to_hex(bytes, ':'); }
+
+  friend bool operator==(const MacAddress&, const MacAddress&) = default;
+};
+
+/// IPv4 address as a host-order u32 (formatting/encoding handle byte order).
+struct Ipv4Address {
+  std::uint32_t value = 0;
+
+  static constexpr Ipv4Address from_octets(std::uint8_t a, std::uint8_t b, std::uint8_t c,
+                                           std::uint8_t d) noexcept {
+    return Ipv4Address{(static_cast<std::uint32_t>(a) << 24) |
+                       (static_cast<std::uint32_t>(b) << 16) |
+                       (static_cast<std::uint32_t>(c) << 8) | d};
+  }
+
+  std::string str() const {
+    char buf[16];
+    std::snprintf(buf, sizeof buf, "%u.%u.%u.%u", value >> 24, (value >> 16) & 0xff,
+                  (value >> 8) & 0xff, value & 0xff);
+    return buf;
+  }
+
+  friend bool operator==(const Ipv4Address&, const Ipv4Address&) = default;
+  friend auto operator<=>(const Ipv4Address&, const Ipv4Address&) = default;
+};
+
+}  // namespace p4iot::pkt

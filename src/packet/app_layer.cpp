@@ -1,0 +1,205 @@
+#include "packet/app_layer.h"
+
+#include <algorithm>
+
+namespace p4iot::pkt {
+
+namespace {
+
+void append_mqtt_string(common::ByteBuffer& out, std::string_view s) {
+  common::append_be16(out, static_cast<std::uint16_t>(s.size()));
+  for (char c : s) out.push_back(static_cast<std::uint8_t>(c));
+}
+
+void append_remaining_length(common::ByteBuffer& out, std::size_t len) {
+  // MQTT varint: 7 bits per byte, continuation in the MSB.
+  do {
+    std::uint8_t digit = len % 128;
+    len /= 128;
+    if (len > 0) digit |= 0x80;
+    out.push_back(digit);
+  } while (len > 0);
+}
+
+/// Decodes the remaining-length varint at `offset`; returns {value, bytes
+/// consumed} or nullopt on truncation/overlong encoding.
+std::optional<std::pair<std::size_t, std::size_t>> parse_remaining_length(
+    std::span<const std::uint8_t> data, std::size_t offset) {
+  std::size_t value = 0, multiplier = 1, consumed = 0;
+  while (true) {
+    if (offset + consumed >= data.size() || consumed >= 4) return std::nullopt;
+    const std::uint8_t digit = data[offset + consumed];
+    value += static_cast<std::size_t>(digit & 0x7f) * multiplier;
+    multiplier *= 128;
+    ++consumed;
+    if ((digit & 0x80) == 0) break;
+  }
+  return std::make_pair(value, consumed);
+}
+
+}  // namespace
+
+common::ByteBuffer build_mqtt_connect(std::string_view client_id, std::string_view username,
+                                      std::string_view password) {
+  common::ByteBuffer var;
+  append_mqtt_string(var, "MQTT");
+  common::append_u8(var, 4);  // protocol level 3.1.1
+  std::uint8_t connect_flags = 0x02;  // clean session
+  if (!username.empty()) connect_flags |= 0x80;
+  if (!password.empty()) connect_flags |= 0x40;
+  common::append_u8(var, connect_flags);
+  common::append_be16(var, 60);  // keepalive
+  append_mqtt_string(var, client_id);
+  if (!username.empty()) append_mqtt_string(var, username);
+  if (!password.empty()) append_mqtt_string(var, password);
+
+  common::ByteBuffer out;
+  common::append_u8(out, static_cast<std::uint8_t>(MqttType::kConnect) << 4);
+  append_remaining_length(out, var.size());
+  common::append_bytes(out, var);
+  return out;
+}
+
+common::ByteBuffer build_mqtt_publish(std::string_view topic,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t flags) {
+  common::ByteBuffer var;
+  append_mqtt_string(var, topic);
+  common::append_bytes(var, payload);
+
+  common::ByteBuffer out;
+  common::append_u8(out, static_cast<std::uint8_t>(
+                             (static_cast<std::uint8_t>(MqttType::kPublish) << 4) |
+                             (flags & 0x0f)));
+  append_remaining_length(out, var.size());
+  common::append_bytes(out, var);
+  return out;
+}
+
+common::ByteBuffer build_mqtt_pingreq() {
+  return {static_cast<std::uint8_t>(static_cast<std::uint8_t>(MqttType::kPingreq) << 4), 0x00};
+}
+
+std::optional<MqttMessage> parse_mqtt(std::span<const std::uint8_t> data) {
+  if (data.size() < 2) return std::nullopt;
+  MqttMessage msg;
+  const std::uint8_t type_nibble = data[0] >> 4;
+  if (type_nibble == 0 || type_nibble == 15) return std::nullopt;
+  msg.type = static_cast<MqttType>(type_nibble);
+  msg.flags = data[0] & 0x0f;
+
+  const auto rl = parse_remaining_length(data, 1);
+  if (!rl) return std::nullopt;
+  const auto [remaining, rl_bytes] = *rl;
+  std::size_t offset = 1 + rl_bytes;
+  if (offset + remaining > data.size()) return std::nullopt;
+  const std::size_t end = offset + remaining;
+
+  if (msg.type == MqttType::kPublish) {
+    if (offset + 2 > end) return std::nullopt;
+    const std::uint16_t topic_len = common::read_be16(data, offset);
+    offset += 2;
+    if (offset + topic_len > end) return std::nullopt;
+    msg.topic.assign(reinterpret_cast<const char*>(data.data() + offset), topic_len);
+    offset += topic_len;
+    msg.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                       data.begin() + static_cast<std::ptrdiff_t>(end));
+  } else if (msg.type == MqttType::kConnect) {
+    // Skip protocol name + level + flags + keepalive to reach the client id.
+    if (offset + 2 > end) return std::nullopt;
+    const std::uint16_t name_len = common::read_be16(data, offset);
+    offset += 2 + name_len + 1 + 1 + 2;
+    if (offset + 2 > end) return std::nullopt;
+    const std::uint16_t id_len = common::read_be16(data, offset);
+    offset += 2;
+    if (offset + id_len > end) return std::nullopt;
+    msg.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                       data.begin() + static_cast<std::ptrdiff_t>(offset + id_len));
+  }
+  return msg;
+}
+
+common::ByteBuffer build_coap(const CoapMessage& msg) {
+  common::ByteBuffer out;
+  const std::uint8_t tkl = static_cast<std::uint8_t>(std::min<std::size_t>(msg.token.size(), 8));
+  common::append_u8(out, static_cast<std::uint8_t>(
+                             (1u << 6) | (static_cast<std::uint8_t>(msg.type) << 4) | tkl));
+  common::append_u8(out, msg.code);
+  common::append_be16(out, msg.message_id);
+  for (std::size_t i = 0; i < tkl; ++i) out.push_back(msg.token[i]);
+
+  // Uri-Path options (option number 11), delta-encoded.
+  std::uint32_t last_option = 0;
+  std::size_t start = 0;
+  while (start < msg.uri_path.size()) {
+    std::size_t slash = msg.uri_path.find('/', start);
+    if (slash == std::string::npos) slash = msg.uri_path.size();
+    const std::string_view segment{msg.uri_path.data() + start, slash - start};
+    if (!segment.empty() && segment.size() < 13) {
+      const std::uint32_t delta = 11 - last_option;
+      common::append_u8(out, static_cast<std::uint8_t>((delta << 4) | segment.size()));
+      for (char c : segment) out.push_back(static_cast<std::uint8_t>(c));
+      last_option = 11;
+    }
+    start = slash + 1;
+  }
+
+  if (!msg.payload.empty()) {
+    common::append_u8(out, 0xff);  // payload marker
+    common::append_bytes(out, msg.payload);
+  }
+  return out;
+}
+
+std::optional<CoapMessage> parse_coap(std::span<const std::uint8_t> data) {
+  if (data.size() < 4) return std::nullopt;
+  if ((data[0] >> 6) != 1) return std::nullopt;  // version must be 1
+  CoapMessage msg;
+  msg.type = static_cast<CoapType>((data[0] >> 4) & 0x03);
+  const std::uint8_t tkl = data[0] & 0x0f;
+  if (tkl > 8) return std::nullopt;
+  msg.code = data[1];
+  msg.message_id = common::read_be16(data, 2);
+  std::size_t offset = 4;
+  if (offset + tkl > data.size()) return std::nullopt;
+  msg.token.assign(data.begin() + static_cast<std::ptrdiff_t>(offset),
+                   data.begin() + static_cast<std::ptrdiff_t>(offset + tkl));
+  offset += tkl;
+
+  std::uint32_t option_number = 0;
+  while (offset < data.size() && data[offset] != 0xff) {
+    const std::uint8_t byte = data[offset++];
+    std::uint32_t delta = byte >> 4;
+    std::uint32_t length = byte & 0x0f;
+    // Extended delta/length encodings (13 = 1 extra byte, 14 = 2 extra bytes).
+    auto extend = [&](std::uint32_t& v) -> bool {
+      if (v == 13) {
+        if (offset >= data.size()) return false;
+        v = 13 + data[offset++];
+      } else if (v == 14) {
+        if (offset + 2 > data.size()) return false;
+        v = 269 + common::read_be16(data, offset);
+        offset += 2;
+      } else if (v == 15) {
+        return false;
+      }
+      return true;
+    };
+    if (!extend(delta) || !extend(length)) return std::nullopt;
+    option_number += delta;
+    if (offset + length > data.size()) return std::nullopt;
+    if (option_number == 11) {  // Uri-Path
+      if (!msg.uri_path.empty()) msg.uri_path += '/';
+      msg.uri_path.append(reinterpret_cast<const char*>(data.data() + offset), length);
+    }
+    offset += length;
+  }
+  if (offset < data.size() && data[offset] == 0xff) {
+    ++offset;
+    if (offset >= data.size()) return std::nullopt;  // marker with empty payload is invalid
+    msg.payload.assign(data.begin() + static_cast<std::ptrdiff_t>(offset), data.end());
+  }
+  return msg;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,67 @@
+// Application-layer IoT protocols: MQTT (over TCP) and CoAP (over UDP).
+//
+// Builders produce correct wire encodings (MQTT remaining-length varint,
+// CoAP ver/type/tkl packing); parsers are defensive and only decode the
+// parts the detectors and experiments need.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace p4iot::pkt {
+
+inline constexpr std::uint16_t kMqttPort = 1883;
+inline constexpr std::uint16_t kCoapPort = 5683;
+inline constexpr std::uint16_t kTelnetPort = 23;
+
+enum class MqttType : std::uint8_t {
+  kConnect = 1, kConnack = 2, kPublish = 3, kPuback = 4,
+  kSubscribe = 8, kSuback = 9, kPingreq = 12, kPingresp = 13, kDisconnect = 14,
+};
+
+struct MqttMessage {
+  MqttType type = MqttType::kPublish;
+  std::uint8_t flags = 0;         ///< low nibble of byte 0 (QoS/retain/dup)
+  std::string topic;              ///< PUBLISH only
+  common::ByteBuffer payload;     ///< PUBLISH payload or CONNECT client-id
+};
+
+/// MQTT CONNECT with the given client id (and optional user/password).
+common::ByteBuffer build_mqtt_connect(std::string_view client_id,
+                                      std::string_view username = {},
+                                      std::string_view password = {});
+/// MQTT PUBLISH, QoS0.
+common::ByteBuffer build_mqtt_publish(std::string_view topic,
+                                      std::span<const std::uint8_t> payload,
+                                      std::uint8_t flags = 0);
+common::ByteBuffer build_mqtt_pingreq();
+
+/// Parses the fixed header + (for PUBLISH) topic. nullopt on malformed input.
+std::optional<MqttMessage> parse_mqtt(std::span<const std::uint8_t> data);
+
+enum class CoapType : std::uint8_t { kConfirmable = 0, kNonConfirmable = 1, kAck = 2, kReset = 3 };
+
+// CoAP method/response codes (class.detail packed as class<<5|detail).
+inline constexpr std::uint8_t kCoapGet = 0x01;
+inline constexpr std::uint8_t kCoapPost = 0x02;
+inline constexpr std::uint8_t kCoapPut = 0x03;
+inline constexpr std::uint8_t kCoapContent = 0x45;  // 2.05
+
+struct CoapMessage {
+  CoapType type = CoapType::kConfirmable;
+  std::uint8_t code = kCoapGet;
+  std::uint16_t message_id = 0;
+  common::ByteBuffer token;
+  std::string uri_path;  ///< joined Uri-Path options, '/'-separated
+  common::ByteBuffer payload;
+};
+
+common::ByteBuffer build_coap(const CoapMessage& msg);
+std::optional<CoapMessage> parse_coap(std::span<const std::uint8_t> data);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,64 @@
+#include "packet/ble.h"
+
+#include <algorithm>
+
+namespace p4iot::pkt {
+
+common::ByteBuffer build_ble_adv(const BleAdvSpec& spec) {
+  common::ByteBuffer out;
+  out.reserve(kOffBleAdvData + spec.adv_data.size());
+  common::append_be32(out, kBleAdvAccessAddress);
+  common::append_u8(out, spec.pdu_type & 0x0f);
+  common::append_u8(out, static_cast<std::uint8_t>(6 + spec.adv_data.size()));
+  common::append_bytes(out, spec.adv_addr.bytes);
+  common::append_bytes(out, spec.adv_data);
+  return out;
+}
+
+common::ByteBuffer build_ble_data(const BleDataSpec& spec) {
+  common::ByteBuffer out;
+  const std::size_t att_len = 3 + spec.att_value.size();  // opcode + handle + value
+  out.reserve(kOffBleAttValue + spec.att_value.size());
+  common::append_be32(out, spec.access_address);
+  common::append_u8(out, spec.llid & 0x03);
+  common::append_u8(out, static_cast<std::uint8_t>(4 + att_len));  // l2cap hdr + att
+  common::append_be16(out, static_cast<std::uint16_t>(att_len));
+  common::append_be16(out, spec.cid);
+  common::append_u8(out, spec.att_opcode);
+  common::append_be16(out, spec.att_handle);
+  common::append_bytes(out, spec.att_value);
+  return out;
+}
+
+bool is_ble_advertising(std::span<const std::uint8_t> frame) noexcept {
+  return frame.size() >= 4 && common::read_be32(frame, 0) == kBleAdvAccessAddress;
+}
+
+std::optional<BleAdvHeaders> parse_ble_adv(std::span<const std::uint8_t> frame) {
+  if (!is_ble_advertising(frame) || frame.size() < kOffBleAdvData) return std::nullopt;
+  BleAdvHeaders h;
+  h.pdu_type = frame[kOffBleHeader] & 0x0f;
+  h.length = frame[kOffBleHeader + 1];
+  std::copy_n(frame.begin() + kOffBleAdvA, 6, h.adv_addr.bytes.begin());
+  return h;
+}
+
+std::optional<BleDataHeaders> parse_ble_data(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kOffBleAttValue || is_ble_advertising(frame)) return std::nullopt;
+  BleDataHeaders h;
+  h.access_address = common::read_be32(frame, 0);
+  h.llid = frame[kOffBleHeader] & 0x03;
+  h.length = frame[kOffBleHeader + 1];
+  h.l2cap_length = common::read_be16(frame, kOffBleL2cap);
+  h.cid = common::read_be16(frame, kOffBleL2cap + 2);
+  h.att_opcode = frame[kOffBleAtt];
+  h.att_handle = common::read_be16(frame, kOffBleAtt + 1);
+  return h;
+}
+
+std::span<const std::uint8_t> ble_att_value(std::span<const std::uint8_t> frame) {
+  if (frame.size() <= kOffBleAttValue || is_ble_advertising(frame)) return {};
+  return frame.subspan(kOffBleAttValue);
+}
+
+}  // namespace p4iot::pkt

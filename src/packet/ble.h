@@ -1,0 +1,96 @@
+// Bluetooth LE link-layer builders and parsers (simplified).
+//
+// Two PDU families, distinguished — as a capture convention — by the leading
+// 32-bit access address:
+//
+//  * Advertising channel (access address 0x8E89BED6):
+//      0   4  access_address
+//      4   1  pdu header (type in low nibble: 0=ADV_IND, 3=ADV_NONCONN_IND)
+//      5   1  payload length
+//      6   6  AdvA (advertiser address)
+//      12..   AD structures (len, type, data)*
+//
+//  * Data channel (any other access address) carrying L2CAP/ATT:
+//      0   4  access_address
+//      4   1  pdu header (LLID in low 2 bits: 2 = start of L2CAP frame)
+//      5   1  payload length
+//      6   2  l2cap.length        (little-endian on the wire in real BLE;
+//      8   2  l2cap.cid            we emit big-endian throughout for a uniform
+//      10  1  att.opcode           byte-level feature space — documented
+//      11  2  att.handle           deviation, see DESIGN.md)
+//      13..   att.value
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "packet/addresses.h"
+
+namespace p4iot::pkt {
+
+inline constexpr std::uint32_t kBleAdvAccessAddress = 0x8e89bed6;
+
+inline constexpr std::uint8_t kBleAdvInd = 0x00;
+inline constexpr std::uint8_t kBleAdvNonconnInd = 0x03;
+inline constexpr std::uint8_t kBleScanReq = 0x01;
+
+inline constexpr std::uint16_t kL2capCidAtt = 0x0004;
+
+// ATT opcodes used by the generator.
+inline constexpr std::uint8_t kAttReadReq = 0x0a;
+inline constexpr std::uint8_t kAttReadRsp = 0x0b;
+inline constexpr std::uint8_t kAttWriteReq = 0x12;
+inline constexpr std::uint8_t kAttWriteCmd = 0x52;
+inline constexpr std::uint8_t kAttNotify = 0x1b;
+
+inline constexpr std::size_t kOffBleHeader = 4;
+inline constexpr std::size_t kOffBleAdvA = 6;
+inline constexpr std::size_t kOffBleAdvData = 12;
+inline constexpr std::size_t kOffBleL2cap = 6;
+inline constexpr std::size_t kOffBleAtt = 10;
+inline constexpr std::size_t kOffBleAttValue = 13;
+
+struct BleAdvSpec {
+  std::uint8_t pdu_type = kBleAdvInd;
+  MacAddress adv_addr;
+  common::ByteBuffer adv_data;  ///< raw AD bytes
+};
+
+struct BleDataSpec {
+  std::uint32_t access_address = 0x50123456;
+  std::uint8_t llid = 0x02;
+  std::uint16_t cid = kL2capCidAtt;
+  std::uint8_t att_opcode = kAttNotify;
+  std::uint16_t att_handle = 0;
+  common::ByteBuffer att_value;
+};
+
+struct BleAdvHeaders {
+  std::uint8_t pdu_type = 0;
+  std::uint8_t length = 0;
+  MacAddress adv_addr;
+};
+
+struct BleDataHeaders {
+  std::uint32_t access_address = 0;
+  std::uint8_t llid = 0;
+  std::uint8_t length = 0;
+  std::uint16_t l2cap_length = 0;
+  std::uint16_t cid = 0;
+  std::uint8_t att_opcode = 0;
+  std::uint16_t att_handle = 0;
+};
+
+common::ByteBuffer build_ble_adv(const BleAdvSpec& spec);
+common::ByteBuffer build_ble_data(const BleDataSpec& spec);
+
+bool is_ble_advertising(std::span<const std::uint8_t> frame) noexcept;
+
+std::optional<BleAdvHeaders> parse_ble_adv(std::span<const std::uint8_t> frame);
+std::optional<BleDataHeaders> parse_ble_data(std::span<const std::uint8_t> frame);
+
+std::span<const std::uint8_t> ble_att_value(std::span<const std::uint8_t> frame);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,193 @@
+#include "packet/dissect.h"
+
+#include <cstdio>
+
+#include "packet/app_layer.h"
+#include "packet/ble.h"
+#include "packet/ethernet.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::pkt {
+
+namespace {
+
+void add(std::vector<FieldSpan>& out, std::size_t offset, std::size_t width,
+         const char* name) {
+  out.push_back(FieldSpan{offset, width, name});
+}
+
+void ethernet_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
+  add(out, 0, 6, "eth.dst");
+  add(out, 6, 6, "eth.src");
+  add(out, 12, 2, "eth.type");
+  const auto ip = parse_ipv4(frame);
+  if (!ip) return;
+  add(out, 14, 1, "ipv4.ver_ihl");
+  add(out, 15, 1, "ipv4.dscp");
+  add(out, 16, 2, "ipv4.total_len");
+  add(out, 18, 2, "ipv4.id");
+  add(out, 20, 2, "ipv4.flags_frag");
+  add(out, 22, 1, "ipv4.ttl");
+  add(out, 23, 1, "ipv4.protocol");
+  add(out, 24, 2, "ipv4.checksum");
+  add(out, 26, 4, "ipv4.src");
+  add(out, 30, 4, "ipv4.dst");
+  switch (ip->protocol) {
+    case kIpProtoTcp:
+      add(out, 34, 2, "tcp.src_port");
+      add(out, 36, 2, "tcp.dst_port");
+      add(out, 38, 4, "tcp.seq");
+      add(out, 42, 4, "tcp.ack");
+      add(out, 46, 1, "tcp.data_off");
+      add(out, 47, 1, "tcp.flags");
+      add(out, 48, 2, "tcp.window");
+      add(out, 50, 2, "tcp.checksum");
+      add(out, 52, 2, "tcp.urgent");
+      if (frame.size() > 54) add(out, 54, frame.size() - 54, "payload");
+      break;
+    case kIpProtoUdp:
+      add(out, 34, 2, "udp.src_port");
+      add(out, 36, 2, "udp.dst_port");
+      add(out, 38, 2, "udp.length");
+      add(out, 40, 2, "udp.checksum");
+      if (frame.size() > 42) add(out, 42, frame.size() - 42, "payload");
+      break;
+    case kIpProtoIcmp:
+      add(out, 34, 1, "icmp.type");
+      add(out, 35, 1, "icmp.code");
+      add(out, 36, 2, "icmp.checksum");
+      if (frame.size() > 38) add(out, 38, frame.size() - 38, "payload");
+      break;
+    default:
+      if (frame.size() > 34) add(out, 34, frame.size() - 34, "payload");
+      break;
+  }
+}
+
+void zigbee_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
+  add(out, 0, 2, "mac154.frame_control");
+  add(out, 2, 1, "mac154.seq");
+  add(out, 3, 2, "mac154.dst_pan");
+  add(out, 5, 2, "mac154.dst_addr");
+  add(out, 7, 2, "mac154.src_addr");
+  add(out, 9, 2, "zbee_nwk.frame_control");
+  add(out, 11, 2, "zbee_nwk.dst");
+  add(out, 13, 2, "zbee_nwk.src");
+  add(out, 15, 1, "zbee_nwk.radius");
+  add(out, 16, 1, "zbee_nwk.seq");
+  add(out, 17, 1, "zbee_aps.frame_control");
+  add(out, 18, 1, "zbee_aps.dst_endpoint");
+  add(out, 19, 2, "zbee_aps.cluster");
+  add(out, 21, 2, "zbee_aps.profile");
+  add(out, 23, 1, "zbee_aps.src_endpoint");
+  add(out, 24, 1, "zbee_aps.counter");
+  if (frame.size() > kOffZigbeePayload)
+    add(out, kOffZigbeePayload, frame.size() - kOffZigbeePayload, "payload");
+}
+
+void ble_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
+  add(out, 0, 4, "btle.access_address");
+  add(out, 4, 1, "btle.header");
+  add(out, 5, 1, "btle.length");
+  if (is_ble_advertising(frame)) {
+    add(out, 6, 6, "btle.adv_addr");
+    if (frame.size() > kOffBleAdvData)
+      add(out, kOffBleAdvData, frame.size() - kOffBleAdvData, "btle.adv_data");
+  } else {
+    add(out, 6, 2, "l2cap.length");
+    add(out, 8, 2, "l2cap.cid");
+    add(out, 10, 1, "att.opcode");
+    add(out, 11, 2, "att.handle");
+    if (frame.size() > kOffBleAttValue)
+      add(out, kOffBleAttValue, frame.size() - kOffBleAttValue, "att.value");
+  }
+}
+
+}  // namespace
+
+std::vector<FieldSpan> field_layout(LinkType link, std::span<const std::uint8_t> frame) {
+  std::vector<FieldSpan> out;
+  switch (link) {
+    case LinkType::kEthernet: ethernet_layout(out, frame); break;
+    case LinkType::kIeee802154: zigbee_layout(out, frame); break;
+    case LinkType::kBleLinkLayer: ble_layout(out, frame); break;
+  }
+  return out;
+}
+
+std::string field_name_at(LinkType link, std::span<const std::uint8_t> frame,
+                          std::size_t offset) {
+  for (const auto& f : field_layout(link, frame)) {
+    if (f.contains(offset)) {
+      if (f.width == 1 || f.name == "payload") return f.name;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%s[%zu]", f.name.c_str(), offset - f.offset);
+      return buf;
+    }
+  }
+  return offset >= frame.size() ? "past-end" : "unknown";
+}
+
+std::string describe_packet(const Packet& packet) {
+  char buf[256];
+  const std::span<const std::uint8_t> frame = packet.view();
+  switch (packet.link) {
+    case LinkType::kEthernet: {
+      if (const auto tcp = parse_tcp(frame)) {
+        const auto ip = parse_ipv4(frame);
+        std::snprintf(buf, sizeof buf, "TCP %s:%u -> %s:%u flags=0x%02x len=%zu [%s]",
+                      ip->src.str().c_str(), tcp->src_port, ip->dst.str().c_str(),
+                      tcp->dst_port, tcp->flags, frame.size(),
+                      attack_type_name(packet.attack));
+        return buf;
+      }
+      if (const auto udp = parse_udp(frame)) {
+        const auto ip = parse_ipv4(frame);
+        std::snprintf(buf, sizeof buf, "UDP %s:%u -> %s:%u len=%zu [%s]",
+                      ip->src.str().c_str(), udp->src_port, ip->dst.str().c_str(),
+                      udp->dst_port, frame.size(), attack_type_name(packet.attack));
+        return buf;
+      }
+      if (const auto icmp = parse_icmp(frame)) {
+        std::snprintf(buf, sizeof buf, "ICMP type=%u code=%u len=%zu [%s]", icmp->type,
+                      icmp->code, frame.size(), attack_type_name(packet.attack));
+        return buf;
+      }
+      std::snprintf(buf, sizeof buf, "ETH len=%zu [%s]", frame.size(),
+                    attack_type_name(packet.attack));
+      return buf;
+    }
+    case LinkType::kIeee802154: {
+      if (const auto z = parse_zigbee(frame)) {
+        std::snprintf(buf, sizeof buf,
+                      "ZIGBEE 0x%04x -> 0x%04x cluster=0x%04x ep=%u len=%zu [%s]",
+                      z->nwk_src, z->nwk_dst, z->cluster_id, z->dst_endpoint, frame.size(),
+                      attack_type_name(packet.attack));
+        return buf;
+      }
+      std::snprintf(buf, sizeof buf, "802.15.4 len=%zu [%s]", frame.size(),
+                    attack_type_name(packet.attack));
+      return buf;
+    }
+    case LinkType::kBleLinkLayer: {
+      if (const auto adv = parse_ble_adv(frame)) {
+        std::snprintf(buf, sizeof buf, "BLE-ADV type=%u from %s len=%zu [%s]", adv->pdu_type,
+                      adv->adv_addr.str().c_str(), frame.size(),
+                      attack_type_name(packet.attack));
+        return buf;
+      }
+      if (const auto data = parse_ble_data(frame)) {
+        std::snprintf(buf, sizeof buf, "BLE-ATT op=0x%02x handle=0x%04x len=%zu [%s]",
+                      data->att_opcode, data->att_handle, frame.size(),
+                      attack_type_name(packet.attack));
+        return buf;
+      }
+      std::snprintf(buf, sizeof buf, "BLE len=%zu [%s]", frame.size(),
+                    attack_type_name(packet.attack));
+      return buf;
+    }
+  }
+  return "?";
+}
+
+}  // namespace p4iot::pkt

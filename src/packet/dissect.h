@@ -1,0 +1,41 @@
+// Field-level dissection: map byte offsets back to protocol field names.
+//
+// The learning pipeline deliberately never uses this — it works on raw bytes.
+// Dissection exists for the humans: experiment reports name the fields the
+// learner selected ("byte 23 = ipv4.protocol"), and the P4 code generator
+// uses the names to emit readable header definitions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace p4iot::pkt {
+
+/// A named contiguous byte range within a frame.
+struct FieldSpan {
+  std::size_t offset = 0;
+  std::size_t width = 0;
+  std::string name;  ///< dotted "layer.field" notation, e.g. "tcp.dst_port"
+
+  bool contains(std::size_t byte_offset) const noexcept {
+    return byte_offset >= offset && byte_offset < offset + width;
+  }
+};
+
+/// Full field layout of a frame, chosen by link type and (for Ethernet) the
+/// IP protocol / (for BLE) the PDU family. Regions past the known headers are
+/// reported as a single "payload" span.
+std::vector<FieldSpan> field_layout(LinkType link, std::span<const std::uint8_t> frame);
+
+/// Name of the field covering `offset`, or "payload[i]" / "past-end".
+std::string field_name_at(LinkType link, std::span<const std::uint8_t> frame,
+                          std::size_t offset);
+
+/// One-line human-readable summary of a packet ("TCP 10.0.0.5:443 -> ...").
+std::string describe_packet(const Packet& packet);
+
+}  // namespace p4iot::pkt

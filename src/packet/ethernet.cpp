@@ -1,0 +1,210 @@
+#include "packet/ethernet.h"
+
+#include <algorithm>
+
+namespace p4iot::pkt {
+
+namespace {
+
+using common::ByteBuffer;
+
+void append_eth_header(ByteBuffer& out, const MacAddress& dst, const MacAddress& src,
+                       std::uint16_t ethertype) {
+  common::append_bytes(out, dst.bytes);
+  common::append_bytes(out, src.bytes);
+  common::append_be16(out, ethertype);
+}
+
+void append_ipv4_header(ByteBuffer& out, const Ipv4Address& src, const Ipv4Address& dst,
+                        std::uint8_t protocol, std::uint16_t payload_len, std::uint8_t ttl,
+                        std::uint8_t dscp, std::uint16_t ip_id) {
+  const std::size_t start = out.size();
+  common::append_u8(out, 0x45);  // version 4, IHL 5
+  common::append_u8(out, dscp);
+  common::append_be16(out, static_cast<std::uint16_t>(kIpv4HeaderLen + payload_len));
+  common::append_be16(out, ip_id);
+  common::append_be16(out, 0x4000);  // flags: DF
+  common::append_u8(out, ttl);
+  common::append_u8(out, protocol);
+  common::append_be16(out, 0);  // checksum placeholder
+  common::append_be32(out, src.value);
+  common::append_be32(out, dst.value);
+  const std::uint16_t csum = common::internet_checksum(
+      std::span<const std::uint8_t>(out.data() + start, kIpv4HeaderLen));
+  common::write_be16(std::span<std::uint8_t>(out.data(), out.size()), start + 10, csum);
+}
+
+// Transport checksum over pseudo-header + segment (RFC 793/768).
+std::uint16_t transport_checksum(const Ipv4Address& src, const Ipv4Address& dst,
+                                 std::uint8_t protocol,
+                                 std::span<const std::uint8_t> segment) {
+  ByteBuffer pseudo;
+  pseudo.reserve(12 + segment.size());
+  common::append_be32(pseudo, src.value);
+  common::append_be32(pseudo, dst.value);
+  common::append_u8(pseudo, 0);
+  common::append_u8(pseudo, protocol);
+  common::append_be16(pseudo, static_cast<std::uint16_t>(segment.size()));
+  common::append_bytes(pseudo, segment);
+  return common::internet_checksum(pseudo);
+}
+
+}  // namespace
+
+ByteBuffer build_tcp_frame(const TcpFrameSpec& spec) {
+  ByteBuffer out;
+  const std::size_t seg_len = kTcpHeaderLen + spec.payload.size();
+  out.reserve(kOffL4 + seg_len);
+  append_eth_header(out, spec.eth_dst, spec.eth_src, kEtherTypeIpv4);
+  append_ipv4_header(out, spec.ip_src, spec.ip_dst, kIpProtoTcp,
+                     static_cast<std::uint16_t>(seg_len), spec.ttl, spec.dscp, spec.ip_id);
+
+  const std::size_t l4 = out.size();
+  common::append_be16(out, spec.src_port);
+  common::append_be16(out, spec.dst_port);
+  common::append_be32(out, spec.seq);
+  common::append_be32(out, spec.ack);
+  common::append_u8(out, 0x50);  // data offset 5, no options
+  common::append_u8(out, spec.flags);
+  common::append_be16(out, spec.window);
+  common::append_be16(out, 0);  // checksum placeholder
+  common::append_be16(out, 0);  // urgent pointer
+  common::append_bytes(out, spec.payload);
+
+  const std::uint16_t csum = transport_checksum(
+      spec.ip_src, spec.ip_dst, kIpProtoTcp,
+      std::span<const std::uint8_t>(out.data() + l4, seg_len));
+  common::write_be16(std::span<std::uint8_t>(out.data(), out.size()), l4 + 16, csum);
+  return out;
+}
+
+ByteBuffer build_udp_frame(const UdpFrameSpec& spec) {
+  ByteBuffer out;
+  const std::size_t seg_len = kUdpHeaderLen + spec.payload.size();
+  out.reserve(kOffL4 + seg_len);
+  append_eth_header(out, spec.eth_dst, spec.eth_src, kEtherTypeIpv4);
+  append_ipv4_header(out, spec.ip_src, spec.ip_dst, kIpProtoUdp,
+                     static_cast<std::uint16_t>(seg_len), spec.ttl, spec.dscp, spec.ip_id);
+
+  const std::size_t l4 = out.size();
+  common::append_be16(out, spec.src_port);
+  common::append_be16(out, spec.dst_port);
+  common::append_be16(out, static_cast<std::uint16_t>(seg_len));
+  common::append_be16(out, 0);  // checksum placeholder
+  common::append_bytes(out, spec.payload);
+
+  const std::uint16_t csum = transport_checksum(
+      spec.ip_src, spec.ip_dst, kIpProtoUdp,
+      std::span<const std::uint8_t>(out.data() + l4, seg_len));
+  common::write_be16(std::span<std::uint8_t>(out.data(), out.size()), l4 + 6, csum);
+  return out;
+}
+
+ByteBuffer build_icmp_frame(const IcmpFrameSpec& spec) {
+  ByteBuffer out;
+  const std::size_t seg_len = 8 + spec.payload.size();
+  out.reserve(kOffL4 + seg_len);
+  append_eth_header(out, spec.eth_dst, spec.eth_src, kEtherTypeIpv4);
+  append_ipv4_header(out, spec.ip_src, spec.ip_dst, kIpProtoIcmp,
+                     static_cast<std::uint16_t>(seg_len), spec.ttl, 0, 0);
+
+  const std::size_t l4 = out.size();
+  common::append_u8(out, spec.type);
+  common::append_u8(out, spec.code);
+  common::append_be16(out, 0);  // checksum placeholder
+  common::append_be16(out, spec.ident);
+  common::append_be16(out, spec.sequence);
+  common::append_bytes(out, spec.payload);
+
+  const std::uint16_t csum = common::internet_checksum(
+      std::span<const std::uint8_t>(out.data() + l4, seg_len));
+  common::write_be16(std::span<std::uint8_t>(out.data(), out.size()), l4 + 2, csum);
+  return out;
+}
+
+std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kEthHeaderLen) return std::nullopt;
+  EthernetHeader h;
+  std::copy_n(frame.begin(), 6, h.dst.bytes.begin());
+  std::copy_n(frame.begin() + 6, 6, h.src.bytes.begin());
+  h.ethertype = common::read_be16(frame, 12);
+  return h;
+}
+
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> frame) {
+  const auto eth = parse_ethernet(frame);
+  if (!eth || eth->ethertype != kEtherTypeIpv4) return std::nullopt;
+  if (frame.size() < kOffIpv4 + kIpv4HeaderLen) return std::nullopt;
+  if (frame[kOffIpv4] != 0x45) return std::nullopt;  // IPv4, no options only
+  Ipv4Header h;
+  h.dscp = frame[kOffIpv4 + 1];
+  h.total_length = common::read_be16(frame, kOffIpv4 + 2);
+  h.identification = common::read_be16(frame, kOffIpv4 + 4);
+  h.flags_fragment = common::read_be16(frame, kOffIpv4 + 6);
+  h.ttl = frame[kOffIpv4 + 8];
+  h.protocol = frame[kOffIpv4 + 9];
+  h.checksum = common::read_be16(frame, kOffIpv4 + 10);
+  h.src.value = common::read_be32(frame, kOffIpv4 + 12);
+  h.dst.value = common::read_be32(frame, kOffIpv4 + 16);
+  return h;
+}
+
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> frame) {
+  const auto ip = parse_ipv4(frame);
+  if (!ip || ip->protocol != kIpProtoTcp) return std::nullopt;
+  if (frame.size() < kOffL4 + kTcpHeaderLen) return std::nullopt;
+  TcpHeader h;
+  h.src_port = common::read_be16(frame, kOffL4);
+  h.dst_port = common::read_be16(frame, kOffL4 + 2);
+  h.seq = common::read_be32(frame, kOffL4 + 4);
+  h.ack = common::read_be32(frame, kOffL4 + 8);
+  h.flags = frame[kOffL4 + 13];
+  h.window = common::read_be16(frame, kOffL4 + 14);
+  h.checksum = common::read_be16(frame, kOffL4 + 16);
+  return h;
+}
+
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> frame) {
+  const auto ip = parse_ipv4(frame);
+  if (!ip || ip->protocol != kIpProtoUdp) return std::nullopt;
+  if (frame.size() < kOffL4 + kUdpHeaderLen) return std::nullopt;
+  UdpHeader h;
+  h.src_port = common::read_be16(frame, kOffL4);
+  h.dst_port = common::read_be16(frame, kOffL4 + 2);
+  h.length = common::read_be16(frame, kOffL4 + 4);
+  h.checksum = common::read_be16(frame, kOffL4 + 6);
+  return h;
+}
+
+std::optional<IcmpHeader> parse_icmp(std::span<const std::uint8_t> frame) {
+  const auto ip = parse_ipv4(frame);
+  if (!ip || ip->protocol != kIpProtoIcmp) return std::nullopt;
+  if (frame.size() < kOffL4 + 4) return std::nullopt;
+  IcmpHeader h;
+  h.type = frame[kOffL4];
+  h.code = frame[kOffL4 + 1];
+  h.checksum = common::read_be16(frame, kOffL4 + 2);
+  return h;
+}
+
+std::span<const std::uint8_t> l4_payload(std::span<const std::uint8_t> frame) {
+  const auto ip = parse_ipv4(frame);
+  if (!ip) return {};
+  std::size_t offset = 0;
+  switch (ip->protocol) {
+    case kIpProtoTcp: offset = kOffL4 + kTcpHeaderLen; break;
+    case kIpProtoUdp: offset = kOffL4 + kUdpHeaderLen; break;
+    case kIpProtoIcmp: offset = kOffL4 + 8; break;
+    default: return {};
+  }
+  if (frame.size() <= offset) return {};
+  return frame.subspan(offset);
+}
+
+bool verify_ipv4_checksum(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kOffIpv4 + kIpv4HeaderLen) return false;
+  // Checksum over the header including the stored checksum must be zero.
+  return common::internet_checksum(frame.subspan(kOffIpv4, kIpv4HeaderLen)) == 0;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,134 @@
+// Ethernet II / IPv4 / TCP / UDP / ICMP builders and parsers.
+//
+// Builders produce on-the-wire byte buffers with correct lengths and
+// checksums (IPv4 header checksum; transport checksums are computed over the
+// classic pseudo-header). Parsers are defensive: they validate lengths and
+// return std::nullopt rather than reading out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+#include "packet/addresses.h"
+
+namespace p4iot::pkt {
+
+inline constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+inline constexpr std::uint16_t kEtherTypeArp = 0x0806;
+
+inline constexpr std::uint8_t kIpProtoIcmp = 1;
+inline constexpr std::uint8_t kIpProtoTcp = 6;
+inline constexpr std::uint8_t kIpProtoUdp = 17;
+
+// TCP flag bits.
+inline constexpr std::uint8_t kTcpFin = 0x01;
+inline constexpr std::uint8_t kTcpSyn = 0x02;
+inline constexpr std::uint8_t kTcpRst = 0x04;
+inline constexpr std::uint8_t kTcpPsh = 0x08;
+inline constexpr std::uint8_t kTcpAck = 0x10;
+
+// Fixed byte offsets within an Ethernet+IPv4 frame without IP options — the
+// layout our generator always emits. Exposed so experiments can name the
+// fields the learner selects.
+inline constexpr std::size_t kEthHeaderLen = 14;
+inline constexpr std::size_t kIpv4HeaderLen = 20;
+inline constexpr std::size_t kTcpHeaderLen = 20;
+inline constexpr std::size_t kUdpHeaderLen = 8;
+inline constexpr std::size_t kOffIpv4 = kEthHeaderLen;
+inline constexpr std::size_t kOffL4 = kEthHeaderLen + kIpv4HeaderLen;
+
+struct EthernetHeader {
+  MacAddress dst;
+  MacAddress src;
+  std::uint16_t ethertype = 0;
+};
+
+struct Ipv4Header {
+  std::uint8_t dscp = 0;
+  std::uint16_t total_length = 0;
+  std::uint16_t identification = 0;
+  std::uint16_t flags_fragment = 0x4000;  ///< DF set by default
+  std::uint8_t ttl = 64;
+  std::uint8_t protocol = 0;
+  std::uint16_t checksum = 0;
+  Ipv4Address src;
+  Ipv4Address dst;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  std::uint8_t flags = 0;
+  std::uint16_t window = 65535;
+  std::uint16_t checksum = 0;
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;
+  std::uint16_t checksum = 0;
+};
+
+struct IcmpHeader {
+  std::uint8_t type = 8;  ///< echo request
+  std::uint8_t code = 0;
+  std::uint16_t checksum = 0;
+};
+
+/// Parameters for building a full TCP/IPv4/Ethernet frame.
+struct TcpFrameSpec {
+  MacAddress eth_src, eth_dst;
+  Ipv4Address ip_src, ip_dst;
+  std::uint16_t src_port = 0, dst_port = 0;
+  std::uint32_t seq = 0, ack = 0;
+  std::uint8_t flags = kTcpAck;
+  std::uint16_t window = 65535;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint16_t ip_id = 0;
+  common::ByteBuffer payload;
+};
+
+struct UdpFrameSpec {
+  MacAddress eth_src, eth_dst;
+  Ipv4Address ip_src, ip_dst;
+  std::uint16_t src_port = 0, dst_port = 0;
+  std::uint8_t ttl = 64;
+  std::uint8_t dscp = 0;
+  std::uint16_t ip_id = 0;
+  common::ByteBuffer payload;
+};
+
+struct IcmpFrameSpec {
+  MacAddress eth_src, eth_dst;
+  Ipv4Address ip_src, ip_dst;
+  std::uint8_t type = 8, code = 0;
+  std::uint16_t ident = 0, sequence = 0;
+  std::uint8_t ttl = 64;
+  common::ByteBuffer payload;
+};
+
+common::ByteBuffer build_tcp_frame(const TcpFrameSpec& spec);
+common::ByteBuffer build_udp_frame(const UdpFrameSpec& spec);
+common::ByteBuffer build_icmp_frame(const IcmpFrameSpec& spec);
+
+std::optional<EthernetHeader> parse_ethernet(std::span<const std::uint8_t> frame);
+/// Parses the IPv4 header at kOffIpv4; requires ethertype 0x0800 and a
+/// version/IHL of 0x45 (no options — all frames we emit).
+std::optional<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> frame);
+std::optional<TcpHeader> parse_tcp(std::span<const std::uint8_t> frame);
+std::optional<UdpHeader> parse_udp(std::span<const std::uint8_t> frame);
+std::optional<IcmpHeader> parse_icmp(std::span<const std::uint8_t> frame);
+
+/// L4 payload view (empty when absent/truncated).
+std::span<const std::uint8_t> l4_payload(std::span<const std::uint8_t> frame);
+
+/// Recompute and verify the IPv4 header checksum.
+bool verify_ipv4_checksum(std::span<const std::uint8_t> frame);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,131 @@
+#include "packet/flow.h"
+
+#include <cstdio>
+
+#include "packet/ble.h"
+#include "packet/ethernet.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::pkt {
+
+std::string FlowKey::str() const {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s src=%llx dst=%llx sport=%u dport=%u proto=%u",
+                link_type_name(link), static_cast<unsigned long long>(src),
+                static_cast<unsigned long long>(dst), src_port, dst_port, proto);
+  return buf;
+}
+
+std::size_t FlowKeyHash::operator()(const FlowKey& k) const noexcept {
+  // FNV-1a over the key fields.
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(k.link));
+  mix(k.src);
+  mix(k.dst);
+  mix((static_cast<std::uint64_t>(k.src_port) << 32) | k.dst_port);
+  mix(k.proto);
+  return static_cast<std::size_t>(h);
+}
+
+std::optional<FlowKey> flow_key(const Packet& packet) {
+  const auto frame = packet.view();
+  FlowKey key;
+  key.link = packet.link;
+  switch (packet.link) {
+    case LinkType::kEthernet: {
+      const auto ip = parse_ipv4(frame);
+      if (!ip) return std::nullopt;
+      key.src = ip->src.value;
+      key.dst = ip->dst.value;
+      key.proto = ip->protocol;
+      if (const auto tcp = parse_tcp(frame)) {
+        key.src_port = tcp->src_port;
+        key.dst_port = tcp->dst_port;
+      } else if (const auto udp = parse_udp(frame)) {
+        key.src_port = udp->src_port;
+        key.dst_port = udp->dst_port;
+      }
+      return key;
+    }
+    case LinkType::kIeee802154: {
+      const auto z = parse_zigbee(frame);
+      if (!z) return std::nullopt;
+      key.src = z->nwk_src;
+      key.dst = z->nwk_dst;
+      key.proto = z->dst_endpoint;
+      key.src_port = z->cluster_id;  // cluster stands in for the port pair
+      return key;
+    }
+    case LinkType::kBleLinkLayer: {
+      if (const auto adv = parse_ble_adv(frame)) {
+        key.src = adv->adv_addr.to_u64();
+        key.dst = 0;  // broadcast
+        key.proto = adv->pdu_type;
+        return key;
+      }
+      if (const auto data = parse_ble_data(frame)) {
+        key.src = data->access_address;  // connection identifier
+        key.dst = data->att_handle;
+        key.proto = data->att_opcode;
+        return key;
+      }
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<FlowKey> FlowTable::observe(const Packet& packet) {
+  auto key = flow_key(packet);
+  if (!key) return std::nullopt;
+  observe_as(*key, packet);
+  return key;
+}
+
+void FlowTable::observe_as(const FlowKey& key, const Packet& packet) {
+  FlowStats& s = flows_[key];
+  if (s.packets == 0) {
+    s.first_seen_s = packet.timestamp_s;
+    s.mean_packet_size = static_cast<double>(packet.size());
+  } else {
+    const double gap = packet.timestamp_s - s.last_seen_s;
+    // EMA with alpha=0.2: responsive to rate changes, stable across jitter.
+    s.mean_interarrival_s = s.packets == 1 ? gap : 0.8 * s.mean_interarrival_s + 0.2 * gap;
+    s.mean_packet_size += (static_cast<double>(packet.size()) - s.mean_packet_size) /
+                          static_cast<double>(s.packets + 1);
+  }
+  ++s.packets;
+  s.bytes += packet.size();
+  s.last_seen_s = packet.timestamp_s;
+  if (packet.is_attack()) ++s.attack_packets;
+}
+
+const FlowStats* FlowTable::find(const FlowKey& key) const {
+  const auto it = flows_.find(key);
+  return it == flows_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<FlowKey, FlowStats>> FlowTable::snapshot() const {
+  return {flows_.begin(), flows_.end()};
+}
+
+std::size_t FlowTable::evict_idle(double cutoff_s) {
+  std::size_t evicted = 0;
+  for (auto it = flows_.begin(); it != flows_.end();) {
+    if (it->second.last_seen_s < cutoff_s) {
+      it = flows_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,49 @@
+#include "packet/packet.h"
+
+#include <algorithm>
+
+namespace p4iot::pkt {
+
+const char* link_type_name(LinkType link) noexcept {
+  switch (link) {
+    case LinkType::kEthernet: return "ethernet";
+    case LinkType::kIeee802154: return "ieee802.15.4";
+    case LinkType::kBleLinkLayer: return "ble";
+  }
+  return "?";
+}
+
+const char* attack_type_name(AttackType type) noexcept {
+  switch (type) {
+    case AttackType::kNone: return "benign";
+    case AttackType::kPortScan: return "port-scan";
+    case AttackType::kSynFlood: return "syn-flood";
+    case AttackType::kUdpFlood: return "udp-flood";
+    case AttackType::kBruteForce: return "brute-force";
+    case AttackType::kExfiltration: return "exfiltration";
+    case AttackType::kMqttHijack: return "mqtt-hijack";
+    case AttackType::kZigbeeFlood: return "zigbee-flood";
+    case AttackType::kZigbeeSpoof: return "zigbee-spoof";
+    case AttackType::kBleSpam: return "ble-spam";
+    case AttackType::kBleInjection: return "ble-injection";
+    case AttackType::kCoapFlood: return "coap-flood";
+  }
+  return "?";
+}
+
+common::ByteBuffer header_window(const Packet& packet, std::size_t width) {
+  common::ByteBuffer window(width, 0);
+  const std::size_t n = std::min(width, packet.bytes.size());
+  std::copy_n(packet.bytes.begin(), n, window.begin());
+  return window;
+}
+
+std::vector<double> header_window_features(const Packet& packet, std::size_t width) {
+  std::vector<double> features(width, 0.0);
+  const std::size_t n = std::min(width, packet.bytes.size());
+  for (std::size_t i = 0; i < n; ++i)
+    features[i] = static_cast<double>(packet.bytes[i]) / 255.0;
+  return features;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,70 @@
+// Core packet representation shared by the generator, the learning pipeline
+// and the P4 switch model.
+//
+// A Packet is raw bytes + capture metadata + ground-truth label. The learning
+// pipeline never looks at anything except `bytes` (that is the point of the
+// paper: protocol-agnostic detection from raw header bytes); labels exist
+// only for training and for scoring experiments.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace p4iot::pkt {
+
+/// Layer-2 technology of the capture. Determines which dissector applies.
+enum class LinkType : std::uint8_t {
+  kEthernet = 0,    ///< Ethernet II (Wi-Fi traffic bridged at the gateway)
+  kIeee802154 = 1,  ///< IEEE 802.15.4 MAC (Zigbee stacks above)
+  kBleLinkLayer = 2 ///< Bluetooth LE link layer (access address first)
+};
+
+const char* link_type_name(LinkType link) noexcept;
+
+/// Ground-truth attack class. kNone means benign. The detector is binary
+/// (benign vs attack); the class is kept for per-attack breakdowns.
+enum class AttackType : std::uint8_t {
+  kNone = 0,
+  kPortScan = 1,       ///< Mirai-style TCP SYN scanning for open telnet/ssh
+  kSynFlood = 2,       ///< TCP SYN DoS flood
+  kUdpFlood = 3,       ///< UDP amplification-style flood
+  kBruteForce = 4,     ///< repeated small login attempts (telnet/MQTT CONNECT)
+  kExfiltration = 5,   ///< large anomalous outbound transfers
+  kMqttHijack = 6,     ///< malicious MQTT PUBLISH to control topics
+  kZigbeeFlood = 7,    ///< Zigbee NWK broadcast storm
+  kZigbeeSpoof = 8,    ///< spoofed Zigbee APS commands from wrong source
+  kBleSpam = 9,        ///< BLE advertising spam (tracker/beacon flood)
+  kBleInjection = 10,  ///< injected BLE ATT writes to characteristic handles
+  kCoapFlood = 11,     ///< stealthy CoAP GET flood: per-packet identical to
+                       ///< benign sensor polls, only the *rate* is anomalous
+};
+
+const char* attack_type_name(AttackType type) noexcept;
+constexpr int kNumAttackTypes = 12;
+
+struct Packet {
+  common::ByteBuffer bytes;   ///< on-the-wire bytes starting at layer 2
+  double timestamp_s = 0.0;   ///< seconds since trace start
+  LinkType link = LinkType::kEthernet;
+  AttackType attack = AttackType::kNone;
+  std::uint32_t device_id = 0;  ///< generator-assigned source device
+
+  bool is_attack() const noexcept { return attack != AttackType::kNone; }
+  int label() const noexcept { return is_attack() ? 1 : 0; }
+  std::span<const std::uint8_t> view() const noexcept { return bytes; }
+  std::size_t size() const noexcept { return bytes.size(); }
+};
+
+/// Fixed-width feature window: the first `width` bytes of the packet,
+/// zero-padded. This is the raw input to stage 1 of the pipeline — the model
+/// sees bytes, not protocol fields.
+common::ByteBuffer header_window(const Packet& packet, std::size_t width);
+
+/// Same, scaled to [0,1] doubles for the neural network.
+std::vector<double> header_window_features(const Packet& packet, std::size_t width);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,140 @@
+#include "packet/pcap.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace p4iot::pkt {
+
+namespace {
+
+constexpr std::uint32_t kMagicMicros = 0xa1b2c3d4;
+constexpr std::uint32_t kMagicNanos = 0xa1b23c4d;
+constexpr std::uint32_t kMagicMicrosSwapped = 0xd4c3b2a1;
+constexpr std::uint32_t kMagicNanosSwapped = 0x4d3cb2a1;
+
+constexpr std::uint32_t kDltEthernet = 1;
+constexpr std::uint32_t kDltIeee802154NoFcs = 230;
+constexpr std::uint32_t kDltBleLinkLayer = 251;
+
+struct FileHeader {
+  std::uint32_t magic;
+  std::uint16_t version_major;
+  std::uint16_t version_minor;
+  std::int32_t thiszone;
+  std::uint32_t sigfigs;
+  std::uint32_t snaplen;
+  std::uint32_t linktype;
+};
+
+struct RecordHeader {
+  std::uint32_t ts_sec;
+  std::uint32_t ts_frac;  ///< micros or nanos depending on magic
+  std::uint32_t incl_len;
+  std::uint32_t orig_len;
+};
+
+std::uint32_t byteswap32(std::uint32_t v) noexcept {
+  return ((v & 0xff) << 24) | ((v & 0xff00) << 8) | ((v >> 8) & 0xff00) | (v >> 24);
+}
+
+std::optional<LinkType> link_from_dlt(std::uint32_t dlt) noexcept {
+  switch (dlt) {
+    case kDltEthernet: return LinkType::kEthernet;
+    case kDltIeee802154NoFcs: return LinkType::kIeee802154;
+    case kDltBleLinkLayer: return LinkType::kBleLinkLayer;
+    default: return std::nullopt;
+  }
+}
+
+}  // namespace
+
+std::uint32_t pcap_linktype(LinkType link) noexcept {
+  switch (link) {
+    case LinkType::kEthernet: return kDltEthernet;
+    case LinkType::kIeee802154: return kDltIeee802154NoFcs;
+    case LinkType::kBleLinkLayer: return kDltBleLinkLayer;
+  }
+  return kDltEthernet;
+}
+
+std::optional<std::size_t> write_pcap(const Trace& trace, LinkType link,
+                                      const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return std::nullopt;
+
+  FileHeader header{};
+  header.magic = kMagicMicros;
+  header.version_major = 2;
+  header.version_minor = 4;
+  header.snaplen = 65535;
+  header.linktype = pcap_linktype(link);
+  bool ok = std::fwrite(&header, sizeof header, 1, f) == 1;
+
+  std::size_t written = 0;
+  for (const auto& p : trace.packets()) {
+    if (!ok) break;
+    if (p.link != link) continue;
+    RecordHeader record{};
+    record.ts_sec = static_cast<std::uint32_t>(p.timestamp_s);
+    record.ts_frac = static_cast<std::uint32_t>(
+        (p.timestamp_s - static_cast<double>(record.ts_sec)) * 1e6);
+    record.incl_len = static_cast<std::uint32_t>(p.bytes.size());
+    record.orig_len = record.incl_len;
+    ok = std::fwrite(&record, sizeof record, 1, f) == 1 &&
+         (p.bytes.empty() ||
+          std::fwrite(p.bytes.data(), 1, p.bytes.size(), f) == p.bytes.size());
+    if (ok) ++written;
+  }
+
+  if (std::fclose(f) != 0 || !ok) return std::nullopt;
+  return written;
+}
+
+std::optional<Trace> read_pcap(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  auto fail = [&]() -> std::optional<Trace> {
+    std::fclose(f);
+    return std::nullopt;
+  };
+
+  FileHeader header{};
+  if (std::fread(&header, sizeof header, 1, f) != 1) return fail();
+
+  bool swapped = false, nanos = false;
+  switch (header.magic) {
+    case kMagicMicros: break;
+    case kMagicNanos: nanos = true; break;
+    case kMagicMicrosSwapped: swapped = true; break;
+    case kMagicNanosSwapped: swapped = true; nanos = true; break;
+    default: return fail();
+  }
+  const std::uint32_t dlt = swapped ? byteswap32(header.linktype) : header.linktype;
+  const auto link = link_from_dlt(dlt);
+  if (!link) return fail();
+
+  Trace trace(path);
+  const double frac_scale = nanos ? 1e-9 : 1e-6;
+  while (true) {
+    RecordHeader record{};
+    const std::size_t got = std::fread(&record, 1, sizeof record, f);
+    if (got == 0) break;            // clean EOF
+    if (got != sizeof record) return fail();
+    std::uint32_t incl = swapped ? byteswap32(record.incl_len) : record.incl_len;
+    const std::uint32_t ts_sec = swapped ? byteswap32(record.ts_sec) : record.ts_sec;
+    const std::uint32_t ts_frac = swapped ? byteswap32(record.ts_frac) : record.ts_frac;
+    if (incl > (1u << 20)) return fail();
+
+    Packet p;
+    p.link = *link;
+    p.timestamp_s = static_cast<double>(ts_sec) +
+                    static_cast<double>(ts_frac) * frac_scale;
+    p.bytes.resize(incl);
+    if (incl != 0 && std::fread(p.bytes.data(), 1, incl, f) != incl) return fail();
+    trace.add(std::move(p));
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,34 @@
+// pcap (libpcap classic format) export/import for interoperability with
+// Wireshark/tcpdump and real capture pipelines.
+//
+// Classic pcap cannot carry labels or mixed link types, so:
+//  * export writes one file per link type present (the writer reports which),
+//    with the standard DLT for each (EN10MB=1, IEEE802_15_4_NOFCS=230,
+//    BLUETOOTH_LE_LL=251);
+//  * import tags every packet with the file's link type and leaves labels
+//    at kNone — labelled datasets should use the native .trc format
+//    (packet/trace.h); pcap is the interchange path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "packet/trace.h"
+
+namespace p4iot::pkt {
+
+/// DLT value used for a link type.
+std::uint32_t pcap_linktype(LinkType link) noexcept;
+
+/// Write all packets of `link` within `trace` to a classic little-endian
+/// pcap file. Returns the number of packets written, or nullopt on I/O
+/// failure. Zero packets still produces a valid (header-only) file.
+std::optional<std::size_t> write_pcap(const Trace& trace, LinkType link,
+                                      const std::string& path);
+
+/// Read a classic pcap file (either byte order, microsecond or nanosecond
+/// timestamps). Returns nullopt on malformed input or unsupported DLT.
+std::optional<Trace> read_pcap(const std::string& path);
+
+}  // namespace p4iot::pkt

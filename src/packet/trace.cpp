@@ -1,0 +1,129 @@
+#include "packet/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+namespace p4iot::pkt {
+
+namespace {
+constexpr char kMagic[8] = {'P', '4', 'I', 'O', 'T', 'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+
+bool write_all(std::FILE* f, const void* data, std::size_t len) {
+  return std::fwrite(data, 1, len, f) == len;
+}
+
+bool read_all(std::FILE* f, void* data, std::size_t len) {
+  return std::fread(data, 1, len, f) == len;
+}
+}  // namespace
+
+void Trace::append(const Trace& other) {
+  packets_.insert(packets_.end(), other.packets_.begin(), other.packets_.end());
+}
+
+void Trace::sort_by_time() {
+  std::stable_sort(packets_.begin(), packets_.end(),
+                   [](const Packet& a, const Packet& b) { return a.timestamp_s < b.timestamp_s; });
+}
+
+TraceStats Trace::stats() const {
+  TraceStats s;
+  s.packets = packets_.size();
+  double t_min = 0.0, t_max = 0.0;
+  bool first = true;
+  for (const auto& p : packets_) {
+    s.bytes += p.size();
+    if (p.is_attack()) ++s.attack_packets;
+    const auto idx = static_cast<std::size_t>(p.attack);
+    if (idx < kNumAttackTypes) ++s.per_attack[idx];
+    if (first) {
+      t_min = t_max = p.timestamp_s;
+      first = false;
+    } else {
+      t_min = std::min(t_min, p.timestamp_s);
+      t_max = std::max(t_max, p.timestamp_s);
+    }
+  }
+  s.duration_s = t_max - t_min;
+  return s;
+}
+
+std::pair<Trace, Trace> Trace::split(double train_fraction, common::Rng& rng) const {
+  std::vector<std::size_t> order(packets_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  rng.shuffle(std::span<std::size_t>(order));
+
+  const auto n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(packets_.size()));
+  Trace train(name_ + "/train"), test(name_ + "/test");
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    (i < n_train ? train : test).add(packets_[order[i]]);
+  }
+  train.sort_by_time();
+  test.sort_by_time();
+  return {std::move(train), std::move(test)};
+}
+
+bool write_trace(const Trace& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (!f) return false;
+  bool ok = write_all(f, kMagic, sizeof kMagic);
+  ok = ok && write_all(f, &kVersion, sizeof kVersion);
+  const std::uint64_t count = trace.size();
+  ok = ok && write_all(f, &count, sizeof count);
+  for (const auto& p : trace.packets()) {
+    if (!ok) break;
+    const auto link = static_cast<std::uint8_t>(p.link);
+    const auto attack = static_cast<std::uint8_t>(p.attack);
+    const auto len = static_cast<std::uint32_t>(p.bytes.size());
+    ok = write_all(f, &p.timestamp_s, sizeof p.timestamp_s) &&
+         write_all(f, &link, 1) && write_all(f, &attack, 1) &&
+         write_all(f, &p.device_id, sizeof p.device_id) &&
+         write_all(f, &len, sizeof len) &&
+         (len == 0 || write_all(f, p.bytes.data(), len));
+  }
+  return std::fclose(f) == 0 && ok;
+}
+
+std::optional<Trace> read_trace(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return std::nullopt;
+  auto fail = [&]() -> std::optional<Trace> {
+    std::fclose(f);
+    return std::nullopt;
+  };
+
+  char magic[8];
+  std::uint32_t version = 0;
+  std::uint64_t count = 0;
+  if (!read_all(f, magic, sizeof magic) || std::memcmp(magic, kMagic, sizeof kMagic) != 0)
+    return fail();
+  if (!read_all(f, &version, sizeof version) || version != kVersion) return fail();
+  if (!read_all(f, &count, sizeof count)) return fail();
+
+  Trace trace(path);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Packet p;
+    std::uint8_t link = 0, attack = 0;
+    std::uint32_t len = 0;
+    if (!read_all(f, &p.timestamp_s, sizeof p.timestamp_s) || !read_all(f, &link, 1) ||
+        !read_all(f, &attack, 1) || !read_all(f, &p.device_id, sizeof p.device_id) ||
+        !read_all(f, &len, sizeof len))
+      return fail();
+    if (link > static_cast<std::uint8_t>(LinkType::kBleLinkLayer) ||
+        attack >= kNumAttackTypes || len > (1u << 20))
+      return fail();
+    p.link = static_cast<LinkType>(link);
+    p.attack = static_cast<AttackType>(attack);
+    p.bytes.resize(len);
+    if (len != 0 && !read_all(f, p.bytes.data(), len)) return fail();
+    trace.add(std::move(p));
+  }
+  std::fclose(f);
+  return trace;
+}
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,83 @@
+// Labelled packet traces: the dataset container plus a binary file format.
+//
+// The on-disk format ("P4IOTTRC", version 1) is a simple length-prefixed
+// record stream so traces survive between the generator, experiments and
+// examples without a pcap dependency:
+//
+//   magic[8] version:u32 count:u64
+//   repeat count times:
+//     timestamp:f64 link:u8 attack:u8 device:u32 len:u32 bytes[len]
+//
+// All integers little-endian (host x86); f64 is IEEE-754 bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "packet/packet.h"
+
+namespace p4iot::pkt {
+
+struct TraceStats {
+  std::size_t packets = 0;
+  std::size_t attack_packets = 0;
+  std::size_t bytes = 0;
+  double duration_s = 0.0;
+  std::size_t per_attack[kNumAttackTypes] = {};
+
+  double attack_fraction() const noexcept {
+    return packets ? static_cast<double>(attack_packets) / static_cast<double>(packets) : 0.0;
+  }
+};
+
+/// An ordered, timestamped, labelled packet capture.
+class Trace {
+ public:
+  Trace() = default;
+  explicit Trace(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  void add(Packet packet) { packets_.push_back(std::move(packet)); }
+  void append(const Trace& other);
+
+  const std::vector<Packet>& packets() const noexcept { return packets_; }
+  std::vector<Packet>& packets() noexcept { return packets_; }
+  std::size_t size() const noexcept { return packets_.size(); }
+  bool empty() const noexcept { return packets_.empty(); }
+  const Packet& operator[](std::size_t i) const noexcept { return packets_[i]; }
+
+  /// Stable sort by timestamp (generators emit per-device streams that must
+  /// be interleaved before use).
+  void sort_by_time();
+
+  TraceStats stats() const;
+
+  /// Deterministic shuffled split into train/test by fraction.
+  std::pair<Trace, Trace> split(double train_fraction, common::Rng& rng) const;
+
+  /// Subset with only the packets matching the predicate.
+  template <typename Pred>
+  Trace filter(Pred&& pred) const {
+    Trace out(name_);
+    for (const auto& p : packets_)
+      if (pred(p)) out.add(p);
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<Packet> packets_;
+};
+
+/// Serialize to the binary trace format. Returns false on I/O failure.
+bool write_trace(const Trace& trace, const std::string& path);
+
+/// Load from the binary trace format; nullopt on missing/corrupt file.
+std::optional<Trace> read_trace(const std::string& path);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,59 @@
+#include "packet/zigbee.h"
+
+namespace p4iot::pkt {
+
+common::ByteBuffer build_zigbee_frame(const ZigbeeFrameSpec& spec) {
+  common::ByteBuffer out;
+  out.reserve(kOffZigbeePayload + spec.payload.size());
+  // MAC
+  common::append_be16(out, kZigbeeMacDataFrame);
+  common::append_u8(out, spec.mac_seq);
+  common::append_be16(out, spec.pan_id);
+  common::append_be16(out, spec.mac_dst);
+  common::append_be16(out, spec.mac_src);
+  // NWK
+  common::append_be16(out, kZigbeeNwkDataFrame);
+  common::append_be16(out, spec.nwk_dst);
+  common::append_be16(out, spec.nwk_src);
+  common::append_u8(out, spec.radius);
+  common::append_u8(out, spec.nwk_seq);
+  // APS
+  common::append_u8(out, 0x00);  // APS data frame, unicast
+  common::append_u8(out, spec.dst_endpoint);
+  common::append_be16(out, spec.cluster_id);
+  common::append_be16(out, spec.profile_id);
+  common::append_u8(out, spec.src_endpoint);
+  common::append_u8(out, spec.aps_counter);
+  common::append_bytes(out, spec.payload);
+  return out;
+}
+
+std::optional<ZigbeeHeaders> parse_zigbee(std::span<const std::uint8_t> frame) {
+  if (frame.size() < kOffZigbeePayload) return std::nullopt;
+  ZigbeeHeaders h;
+  h.mac_frame_control = common::read_be16(frame, 0);
+  if (h.mac_frame_control != kZigbeeMacDataFrame) return std::nullopt;
+  h.mac_seq = frame[2];
+  h.pan_id = common::read_be16(frame, 3);
+  h.mac_dst = common::read_be16(frame, 5);
+  h.mac_src = common::read_be16(frame, 7);
+  h.nwk_frame_control = common::read_be16(frame, 9);
+  h.nwk_dst = common::read_be16(frame, 11);
+  h.nwk_src = common::read_be16(frame, 13);
+  h.radius = frame[15];
+  h.nwk_seq = frame[16];
+  h.aps_frame_control = frame[17];
+  h.dst_endpoint = frame[18];
+  h.cluster_id = common::read_be16(frame, 19);
+  h.profile_id = common::read_be16(frame, 21);
+  h.src_endpoint = frame[23];
+  h.aps_counter = frame[24];
+  return h;
+}
+
+std::span<const std::uint8_t> zigbee_payload(std::span<const std::uint8_t> frame) {
+  if (frame.size() <= kOffZigbeePayload) return {};
+  return frame.subspan(kOffZigbeePayload);
+}
+
+}  // namespace p4iot::pkt

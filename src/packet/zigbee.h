@@ -1,0 +1,101 @@
+// IEEE 802.15.4 MAC + Zigbee NWK/APS builders and parsers (simplified).
+//
+// We emit the single addressing mode real Zigbee data frames overwhelmingly
+// use: 16-bit short addresses, intra-PAN (PAN ID compression), no security
+// header. That keeps every field at a fixed byte offset, which is what lets
+// the generated P4 parser extract fields without TLV walking:
+//
+//   offset  width  field
+//   0       2      mac.frame_control        (0x8841 for intra-PAN data)
+//   2       1      mac.seq
+//   3       2      mac.dst_pan
+//   5       2      mac.dst_addr
+//   7       2      mac.src_addr
+//   9       2      nwk.frame_control
+//   11      2      nwk.dst_addr             (0xFFFC..0xFFFF = broadcast)
+//   13      2      nwk.src_addr
+//   15      1      nwk.radius
+//   16      1      nwk.seq
+//   17      1      aps.frame_control
+//   18      1      aps.dst_endpoint
+//   19      2      aps.cluster_id
+//   21      2      aps.profile_id
+//   23      1      aps.src_endpoint
+//   24      1      aps.counter
+//   25..           payload (ZCL-ish)
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+
+#include "common/bytes.h"
+
+namespace p4iot::pkt {
+
+inline constexpr std::uint16_t kZigbeeMacDataFrame = 0x8841;
+inline constexpr std::uint16_t kZigbeeNwkDataFrame = 0x0048;
+inline constexpr std::uint16_t kZigbeeBroadcastAll = 0xffff;
+inline constexpr std::uint16_t kZigbeeBroadcastRouters = 0xfffc;
+inline constexpr std::uint16_t kHomeAutomationProfile = 0x0104;
+
+// Common ZCL cluster ids used by the generator.
+inline constexpr std::uint16_t kClusterOnOff = 0x0006;
+inline constexpr std::uint16_t kClusterTempMeasurement = 0x0402;
+inline constexpr std::uint16_t kClusterIasZone = 0x0500;
+inline constexpr std::uint16_t kClusterDoorLock = 0x0101;
+
+inline constexpr std::size_t kZigbeeMacLen = 9;
+inline constexpr std::size_t kZigbeeNwkLen = 8;
+inline constexpr std::size_t kZigbeeApsLen = 8;
+inline constexpr std::size_t kOffZigbeeNwk = kZigbeeMacLen;
+inline constexpr std::size_t kOffZigbeeAps = kZigbeeMacLen + kZigbeeNwkLen;
+inline constexpr std::size_t kOffZigbeePayload = kOffZigbeeAps + kZigbeeApsLen;
+
+struct ZigbeeFrameSpec {
+  std::uint8_t mac_seq = 0;
+  std::uint16_t pan_id = 0x1a62;
+  std::uint16_t mac_dst = 0;
+  std::uint16_t mac_src = 0;
+  std::uint16_t nwk_dst = 0;
+  std::uint16_t nwk_src = 0;
+  std::uint8_t radius = 30;
+  std::uint8_t nwk_seq = 0;
+  std::uint8_t dst_endpoint = 1;
+  std::uint16_t cluster_id = kClusterOnOff;
+  std::uint16_t profile_id = kHomeAutomationProfile;
+  std::uint8_t src_endpoint = 1;
+  std::uint8_t aps_counter = 0;
+  common::ByteBuffer payload;
+};
+
+struct ZigbeeHeaders {
+  std::uint16_t mac_frame_control = 0;
+  std::uint8_t mac_seq = 0;
+  std::uint16_t pan_id = 0;
+  std::uint16_t mac_dst = 0;
+  std::uint16_t mac_src = 0;
+  std::uint16_t nwk_frame_control = 0;
+  std::uint16_t nwk_dst = 0;
+  std::uint16_t nwk_src = 0;
+  std::uint8_t radius = 0;
+  std::uint8_t nwk_seq = 0;
+  std::uint8_t aps_frame_control = 0;
+  std::uint8_t dst_endpoint = 0;
+  std::uint16_t cluster_id = 0;
+  std::uint16_t profile_id = 0;
+  std::uint8_t src_endpoint = 0;
+  std::uint8_t aps_counter = 0;
+
+  bool is_nwk_broadcast() const noexcept { return nwk_dst >= kZigbeeBroadcastRouters; }
+};
+
+common::ByteBuffer build_zigbee_frame(const ZigbeeFrameSpec& spec);
+
+/// Parses MAC+NWK+APS; nullopt when the frame is shorter than the stacked
+/// headers or not an intra-PAN data frame.
+std::optional<ZigbeeHeaders> parse_zigbee(std::span<const std::uint8_t> frame);
+
+std::span<const std::uint8_t> zigbee_payload(std::span<const std::uint8_t> frame);
+
+}  // namespace p4iot::pkt

@@ -1,0 +1,129 @@
+#include "sdn/controller.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace p4iot::sdn {
+
+Controller::Controller(ControllerConfig config, LabelOracle oracle)
+    : config_(std::move(config)),
+      oracle_(std::move(oracle)),
+      pipeline_(config_.pipeline),
+      switch_(p4::P4Program{}, config_.table_capacity),
+      rng_(config_.seed) {}
+
+bool Controller::bootstrap(const pkt::Trace& initial) {
+  pipeline_.fit(initial);
+  switch_ = p4::P4Switch(pipeline_.rules().program, config_.table_capacity);
+  const auto status = pipeline_.install(switch_);
+
+  ControllerEvent event{ControllerEventType::kBootstrap, 0.0,
+                        switch_.table().entry_count(), 0.0};
+  if (status != p4::TableWriteStatus::kOk) {
+    event.type = ControllerEventType::kInstallFailed;
+    events_.push_back(event);
+    P4IOT_LOG_ERROR("controller", "bootstrap install failed: %s",
+                    p4::table_write_status_name(status));
+    return false;
+  }
+  events_.push_back(event);
+  P4IOT_LOG_INFO("controller", "bootstrap: %zu rules over %zu fields",
+                 switch_.table().entry_count(),
+                 pipeline_.rules().program.parser.fields.size());
+
+  // Seed the retraining buffer with the bootstrap capture so later
+  // retrains keep knowledge of the original attacks.
+  sample_buffer_ = initial;
+  return true;
+}
+
+p4::Verdict Controller::handle(const pkt::Packet& packet) {
+  const auto verdict = switch_.process(packet);
+
+  // Punt-path sampling: a fraction of traffic gets oracle labels.
+  if (oracle_ && rng_.uniform() < config_.sample_probability) {
+    if (const auto label = oracle_(packet)) {
+      record_sample(packet, *label, verdict.action == p4::ActionOp::kDrop);
+      maybe_retrain(packet.timestamp_s);
+    }
+  }
+  return verdict;
+}
+
+void Controller::record_sample(const pkt::Packet& packet, bool is_attack,
+                               bool was_dropped) {
+  pkt::Packet labelled = packet;
+  // Normalize the stored label to what the oracle said (binary): keep the
+  // original class when it agrees, otherwise coerce.
+  if (is_attack && !labelled.is_attack()) labelled.attack = pkt::AttackType::kPortScan;
+  if (!is_attack) labelled.attack = pkt::AttackType::kNone;
+  sample_buffer_.add(std::move(labelled));
+  if (sample_buffer_.size() > config_.buffer_capacity) {
+    // Ring behaviour: drop the oldest half to amortize the erase cost.
+    auto& packets = sample_buffer_.packets();
+    packets.erase(packets.begin(),
+                  packets.begin() + static_cast<std::ptrdiff_t>(packets.size() / 2));
+  }
+
+  recent_.emplace_back(is_attack, was_dropped);
+  if (recent_.size() > config_.drift_window) recent_.pop_front();
+}
+
+double Controller::current_miss_rate() const noexcept {
+  std::size_t attacks = 0, missed = 0;
+  for (const auto& [is_attack, was_dropped] : recent_) {
+    if (is_attack) {
+      ++attacks;
+      if (!was_dropped) ++missed;
+    }
+  }
+  return attacks ? static_cast<double>(missed) / static_cast<double>(attacks) : 0.0;
+}
+
+void Controller::maybe_retrain(double now_s) {
+  if (now_s - last_retrain_s_ < config_.min_retrain_gap_s) return;
+  if (sample_buffer_.size() < config_.retrain_min_samples) return;
+
+  // Require enough attack evidence in the window to trust the rate.
+  std::size_t recent_attacks = 0;
+  for (const auto& [is_attack, dropped] : recent_) recent_attacks += is_attack ? 1 : 0;
+  if (recent_attacks < 10) return;
+
+  const double miss_rate = current_miss_rate();
+  if (miss_rate < config_.drift_miss_threshold) return;
+
+  events_.push_back(
+      {ControllerEventType::kDriftDetected, now_s, 0, miss_rate});
+  P4IOT_LOG_INFO("controller", "drift at t=%.1fs (miss=%.2f), retraining on %zu samples",
+                 now_s, miss_rate, sample_buffer_.size());
+
+  pipeline_.fit(sample_buffer_);
+  // The field selection may have changed, so the parser program changes too:
+  // hot-swap by rebuilding the switch program (real targets reload the
+  // pipeline binary; entry-only updates happen when fields are unchanged).
+  auto stats_backup = switch_.stats();
+  switch_ = p4::P4Switch(pipeline_.rules().program, config_.table_capacity);
+  const auto status = pipeline_.install(switch_);
+  (void)stats_backup;  // per-epoch stats intentionally reset on reload
+
+  ControllerEvent event{ControllerEventType::kRetrained, now_s,
+                        switch_.table().entry_count(), miss_rate};
+  if (status != p4::TableWriteStatus::kOk) {
+    event.type = ControllerEventType::kInstallFailed;
+    P4IOT_LOG_ERROR("controller", "retrain install failed: %s",
+                    p4::table_write_status_name(status));
+  }
+  events_.push_back(event);
+  last_retrain_s_ = now_s;
+  recent_.clear();  // fresh window for the new rule set
+}
+
+std::size_t Controller::retrain_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(), [](const ControllerEvent& e) {
+        return e.type == ControllerEventType::kRetrained;
+      }));
+}
+
+}  // namespace p4iot::sdn

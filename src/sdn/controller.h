@@ -1,0 +1,95 @@
+// SDN control plane: a gateway firewall application driving the P4 switch.
+//
+// The controller owns the two-stage pipeline and the switch's rule table.
+// At bootstrap it trains on an initial labelled capture and installs rules.
+// At runtime it samples forwarded traffic, obtains labels from an oracle
+// (standing in for the out-of-band IDS / operator feedback loop real
+// deployments use — see DESIGN.md), tracks the miss rate of recent attack
+// traffic, and re-trains + hot-swaps the rule set when drift is detected.
+// This is the "dynamically reconfigurable" property the paper's abstract
+// highlights over static firewalls.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "p4/switch.h"
+#include "packet/trace.h"
+
+namespace p4iot::sdn {
+
+struct ControllerConfig {
+  core::PipelineConfig pipeline;
+  std::size_t table_capacity = 1024;
+
+  double sample_probability = 0.15;   ///< fraction of traffic sent to the oracle
+  std::size_t buffer_capacity = 8000; ///< labelled sample ring buffer
+  std::size_t retrain_min_samples = 400;
+
+  /// Drift detector: retrain when the miss rate (attack packets permitted /
+  /// attack packets observed) over the sliding window exceeds the threshold.
+  std::size_t drift_window = 200;     ///< recent oracle-labelled packets tracked
+  double drift_miss_threshold = 0.3;
+  double min_retrain_gap_s = 5.0;     ///< don't thrash
+
+  std::uint64_t seed = 77;
+};
+
+/// Labels a sampled packet; nullopt = oracle has no verdict (unsampled path).
+using LabelOracle = std::function<std::optional<bool>(const pkt::Packet&)>;
+
+enum class ControllerEventType : std::uint8_t {
+  kBootstrap = 0,
+  kDriftDetected = 1,
+  kRetrained = 2,
+  kInstallFailed = 3,
+};
+
+struct ControllerEvent {
+  ControllerEventType type;
+  double time_s = 0.0;
+  std::size_t rules_installed = 0;
+  double observed_miss_rate = 0.0;
+};
+
+class Controller {
+ public:
+  Controller(ControllerConfig config, LabelOracle oracle);
+
+  /// Train the pipeline on an initial capture and install rules.
+  /// Returns false if the rule install was rejected (table too small).
+  bool bootstrap(const pkt::Trace& initial);
+
+  /// Run one packet through the data plane; performs sampling, drift
+  /// tracking and (if triggered) re-training as a side effect.
+  p4::Verdict handle(const pkt::Packet& packet);
+
+  const p4::P4Switch& data_plane() const noexcept { return switch_; }
+  p4::P4Switch& mutable_data_plane() noexcept { return switch_; }
+  const core::TwoStagePipeline& pipeline() const noexcept { return pipeline_; }
+  const std::vector<ControllerEvent>& events() const noexcept { return events_; }
+  std::size_t retrain_count() const noexcept;
+
+  /// Current sliding-window miss rate (1.0 = every recent attack permitted).
+  double current_miss_rate() const noexcept;
+
+ private:
+  void record_sample(const pkt::Packet& packet, bool is_attack, bool was_dropped);
+  void maybe_retrain(double now_s);
+
+  ControllerConfig config_;
+  LabelOracle oracle_;
+  core::TwoStagePipeline pipeline_;
+  p4::P4Switch switch_;
+  common::Rng rng_;
+
+  pkt::Trace sample_buffer_;          ///< labelled ring buffer for retraining
+  std::deque<std::pair<bool, bool>> recent_;  ///< (is_attack, was_dropped)
+  std::vector<ControllerEvent> events_;
+  double last_retrain_s_ = -1e9;
+};
+
+}  // namespace p4iot::sdn

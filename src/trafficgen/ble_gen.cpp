@@ -1,0 +1,214 @@
+#include "trafficgen/ble_gen.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "packet/ble.h"
+
+namespace p4iot::gen {
+
+namespace {
+
+using common::ByteBuffer;
+using common::Rng;
+using pkt::AttackType;
+using pkt::LinkType;
+using pkt::MacAddress;
+using pkt::Packet;
+using pkt::Trace;
+
+// Well-known ATT handles in our simulated GATT layout.
+constexpr std::uint16_t kHandleHeartRate = 0x0012;
+constexpr std::uint16_t kHandleBattery = 0x0015;
+constexpr std::uint16_t kHandleLockControl = 0x002a;
+constexpr std::uint16_t kHandleLockStatus = 0x002c;
+
+MacAddress device_addr(int device) {
+  return MacAddress::from_u64(0xc0ffee000000ULL + static_cast<std::uint64_t>(device));
+}
+
+std::uint32_t device_access_address(int device) {
+  // Stable per-connection access address, distinct from the advertising AA.
+  return 0x50000000u + static_cast<std::uint32_t>(device) * 0x1111u;
+}
+
+Packet make_packet(ByteBuffer bytes, double t, AttackType attack, std::uint32_t device) {
+  Packet p;
+  p.bytes = std::move(bytes);
+  p.timestamp_s = t;
+  p.link = LinkType::kBleLinkLayer;
+  p.attack = attack;
+  p.device_id = device;
+  return p;
+}
+
+void emit_fitness_band(Trace& trace, int id, Rng& rng, double duration_s, double rate_scale) {
+  double t = rng.uniform(0.0, 1.0);
+  std::uint8_t hr = static_cast<std::uint8_t>(60 + rng.uniform_int(0, 30));
+  double next_adv = rng.uniform(0.0, 2.0);
+  while (t < duration_s) {
+    // Connectable advertising between notification bursts, so ADV_IND
+    // frames are not attack-exclusive.
+    if (t >= next_adv) {
+      // Structured AD payload: flags, shortened name, service UUID — real
+      // advertising data is TLV-structured, not random bytes.
+      pkt::BleAdvSpec adv;
+      adv.pdu_type = pkt::kBleAdvInd;
+      adv.adv_addr = device_addr(id);
+      adv.adv_data = {0x02, 0x01, 0x06,                       // flags: LE general
+                      0x05, 0x08, 'B', 'a', 'n', 'd',         // shortened name
+                      0x03, 0x03, 0x0d, 0x18};                // 16-bit UUID: 0x180D HR
+      adv.adv_data.push_back(0x02);
+      adv.adv_data.push_back(0x0a);  // TX power
+      adv.adv_data.push_back(static_cast<std::uint8_t>(rng.uniform_int(0, 8)));
+      trace.add(make_packet(build_ble_adv(adv), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id)));
+      next_adv = t + rng.exponential(0.5 * rate_scale) + 1.0;
+    }
+    pkt::BleDataSpec spec;
+    spec.access_address = device_access_address(id);
+    spec.att_opcode = pkt::kAttNotify;
+    if (rng.chance(0.9)) {
+      spec.att_handle = kHandleHeartRate;
+      hr = static_cast<std::uint8_t>(
+          std::clamp<int>(hr + static_cast<int>(rng.uniform_int(-3, 3)), 45, 190));
+      spec.att_value = {0x00, hr};  // flags + bpm
+    } else {
+      spec.att_handle = kHandleBattery;
+      spec.att_value = {static_cast<std::uint8_t>(rng.uniform_int(20, 100))};
+    }
+    trace.add(make_packet(build_ble_data(spec), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(id)));
+    t += rng.exponential(1.0 * rate_scale) + 0.5;
+  }
+}
+
+void emit_beacon(Trace& trace, int id, Rng& rng, double duration_s, double rate_scale) {
+  // iBeacon-style stable payload.
+  ByteBuffer adv_data;
+  common::append_u8(adv_data, 0x1a);  // length
+  common::append_u8(adv_data, 0xff);  // manufacturer specific
+  common::append_be16(adv_data, 0x004c);
+  for (int i = 0; i < 16; ++i) adv_data.push_back(static_cast<std::uint8_t>(id * 7 + i));
+  common::append_be16(adv_data, static_cast<std::uint16_t>(id));  // major
+  common::append_be16(adv_data, 1);                               // minor
+
+  double t = rng.uniform(0.0, 1.0);
+  while (t < duration_s) {
+    pkt::BleAdvSpec spec;
+    spec.pdu_type = pkt::kBleAdvNonconnInd;
+    spec.adv_addr = device_addr(id);
+    spec.adv_data = adv_data;
+    trace.add(make_packet(build_ble_adv(spec), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(id)));
+    t += rng.exponential(1.0 * rate_scale) + 0.9;  // ~1 Hz beacon
+  }
+}
+
+void emit_smart_lock(Trace& trace, int id, Rng& rng, double duration_s, double rate_scale) {
+  double t = rng.uniform(3.0, 10.0);
+  while (t < duration_s) {
+    // Authorized write (8-byte token + command) then a status notification.
+    pkt::BleDataSpec wr;
+    wr.access_address = device_access_address(id);
+    wr.att_opcode = pkt::kAttWriteReq;
+    wr.att_handle = kHandleLockControl;
+    wr.att_value.resize(9);
+    for (auto& b : wr.att_value) b = static_cast<std::uint8_t>(rng.next_below(256));
+    wr.att_value[8] = rng.chance(0.5) ? 0x01 : 0x00;  // lock/unlock
+    trace.add(make_packet(build_ble_data(wr), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(id)));
+
+    pkt::BleDataSpec st;
+    st.access_address = device_access_address(id);
+    st.att_opcode = pkt::kAttNotify;
+    st.att_handle = kHandleLockStatus;
+    st.att_value = {wr.att_value[8]};
+    trace.add(make_packet(build_ble_data(st), t + 0.12, AttackType::kNone,
+                          static_cast<std::uint32_t>(id)));
+    t += rng.exponential(0.05 * rate_scale) + 12.0;
+  }
+}
+
+void emit_phone(Trace& trace, int id, Rng& rng, double duration_s, double rate_scale) {
+  double t = rng.uniform(0.0, 2.0);
+  while (t < duration_s) {
+    pkt::BleDataSpec rd;
+    rd.access_address = device_access_address(id);
+    rd.att_opcode = rng.chance(0.5) ? pkt::kAttReadReq : pkt::kAttReadRsp;
+    rd.att_handle = rng.chance(0.6) ? kHandleHeartRate : kHandleBattery;
+    if (rd.att_opcode == pkt::kAttReadRsp)
+      rd.att_value = {static_cast<std::uint8_t>(rng.next_below(256))};
+    trace.add(make_packet(build_ble_data(rd), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(id)));
+    t += rng.exponential(0.4 * rate_scale) + 1.0;
+  }
+}
+
+void emit_ble_spam(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::BleAdvSpec spec;
+    spec.pdu_type = pkt::kBleAdvInd;
+    // Randomized (rotating) spoofed advertiser address — the spam signature.
+    spec.adv_addr = MacAddress::from_u64(rng.next_u64() & 0xffffffffffffULL);
+    spec.adv_data.resize(20 + rng.next_below(8));
+    for (auto& b : spec.adv_data) b = static_cast<std::uint8_t>(rng.next_below(256));
+    trace.add(make_packet(build_ble_adv(spec), t, AttackType::kBleSpam,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps * 3.0);
+  }
+}
+
+void emit_ble_injection(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::BleDataSpec spec;
+    // Foreign access address outside the provisioned device range.
+    spec.access_address = 0xdead0000u + static_cast<std::uint32_t>(rng.next_below(0x10000));
+    spec.att_opcode = rng.chance(0.7) ? pkt::kAttWriteCmd : pkt::kAttWriteReq;
+    spec.att_handle = kHandleLockControl;
+    spec.att_value = {0x01};  // unlock, no auth token
+    trace.add(make_packet(build_ble_data(spec), t, AttackType::kBleInjection,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps);
+  }
+}
+
+}  // namespace
+
+Trace generate_ble_trace(const ScenarioConfig& config) {
+  Rng rng(config.seed ^ 0xb1e0b1e0ULL);
+  Trace trace("ble");
+
+  for (int d = 1; d <= config.benign_devices; ++d) {
+    Rng device_rng = rng.fork();
+    switch (d % 4) {
+      case 0: emit_fitness_band(trace, d, device_rng, config.duration_s,
+                                config.benign_rate_scale); break;
+      case 1: emit_beacon(trace, d, device_rng, config.duration_s,
+                          config.benign_rate_scale); break;
+      case 2: emit_smart_lock(trace, d, device_rng, config.duration_s,
+                              config.benign_rate_scale); break;
+      default: emit_phone(trace, d, device_rng, config.duration_s,
+                          config.benign_rate_scale); break;
+    }
+  }
+
+  int campaign = 0;
+  for (const auto& w : config.attacks) {
+    const int attacker = 1 + campaign % std::max(config.benign_devices, 1);
+    Rng attack_rng = rng.fork();
+    switch (w.type) {
+      case AttackType::kBleSpam: emit_ble_spam(trace, w, attack_rng, attacker); break;
+      case AttackType::kBleInjection: emit_ble_injection(trace, w, attack_rng, attacker); break;
+      default: break;
+    }
+    ++campaign;
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace p4iot::gen

@@ -1,0 +1,20 @@
+// Bluetooth LE IoT traffic generator.
+//
+// Benign device population: fitness bands (periodic ATT notifications on the
+// heart-rate handle), beacons (slow ADV_NONCONN_IND with stable payloads),
+// smart locks (sparse authenticated ATT writes), phones (scan + reads).
+//
+// Attack campaigns:
+//   kBleSpam       high-rate advertising flood with random addresses
+//   kBleInjection  ATT writes to protected control handles from a foreign
+//                  connection
+#pragma once
+
+#include "packet/trace.h"
+#include "trafficgen/scenario.h"
+
+namespace p4iot::gen {
+
+pkt::Trace generate_ble_trace(const ScenarioConfig& config);
+
+}  // namespace p4iot::gen

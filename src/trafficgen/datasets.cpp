@@ -1,0 +1,88 @@
+#include "trafficgen/datasets.h"
+
+#include "trafficgen/ble_gen.h"
+#include "trafficgen/wifi_gen.h"
+#include "trafficgen/zigbee_gen.h"
+
+namespace p4iot::gen {
+
+using pkt::AttackType;
+
+const char* dataset_name(DatasetId id) noexcept {
+  switch (id) {
+    case DatasetId::kWifiIp: return "wifi_ip";
+    case DatasetId::kZigbee: return "zigbee";
+    case DatasetId::kBle: return "ble";
+    case DatasetId::kMixed: return "mixed";
+  }
+  return "?";
+}
+
+std::vector<DatasetId> all_datasets() {
+  return {DatasetId::kWifiIp, DatasetId::kZigbee, DatasetId::kBle, DatasetId::kMixed};
+}
+
+std::vector<AttackType> dataset_attacks(DatasetId id) {
+  switch (id) {
+    case DatasetId::kWifiIp:
+      return {AttackType::kPortScan, AttackType::kSynFlood, AttackType::kUdpFlood,
+              AttackType::kBruteForce, AttackType::kExfiltration, AttackType::kMqttHijack};
+    case DatasetId::kZigbee:
+      return {AttackType::kZigbeeFlood, AttackType::kZigbeeSpoof};
+    case DatasetId::kBle:
+      return {AttackType::kBleSpam, AttackType::kBleInjection};
+    case DatasetId::kMixed: {
+      auto out = dataset_attacks(DatasetId::kWifiIp);
+      for (auto a : dataset_attacks(DatasetId::kZigbee)) out.push_back(a);
+      for (auto a : dataset_attacks(DatasetId::kBle)) out.push_back(a);
+      return out;
+    }
+  }
+  return {};
+}
+
+pkt::Trace make_dataset(DatasetId id, const DatasetOptions& options) {
+  auto config_for = [&](DatasetId which) {
+    // Low-power radios cap attack rates (802.15.4 is 250 kbps; BLE adv
+    // channels are similarly thin), and their benign device populations are
+    // chattier relative to the attack to keep class balance plausible.
+    double rate = options.attack_rate_pps;
+    double benign_scale = 1.0;
+    if (which == DatasetId::kZigbee) {
+      rate = options.attack_rate_pps / 8.0;
+      benign_scale = 2.5;
+    } else if (which == DatasetId::kBle) {
+      rate = options.attack_rate_pps / 6.0;
+      benign_scale = 2.5;
+    }
+    auto cfg = ScenarioConfig::with_default_attacks(
+        options.seed, options.duration_s, dataset_attacks(which), rate);
+    cfg.benign_devices = options.benign_devices;
+    cfg.benign_rate_scale = benign_scale;
+    return cfg;
+  };
+
+  switch (id) {
+    case DatasetId::kWifiIp: return generate_wifi_trace(config_for(DatasetId::kWifiIp));
+    case DatasetId::kZigbee: return generate_zigbee_trace(config_for(DatasetId::kZigbee));
+    case DatasetId::kBle: return generate_ble_trace(config_for(DatasetId::kBle));
+    case DatasetId::kMixed: {
+      // All three environments captured at the same gateway, interleaved.
+      pkt::Trace mixed("mixed");
+      auto wifi_cfg = config_for(DatasetId::kWifiIp);
+      wifi_cfg.seed = options.seed * 3 + 1;
+      auto zb_cfg = config_for(DatasetId::kZigbee);
+      zb_cfg.seed = options.seed * 3 + 2;
+      auto ble_cfg = config_for(DatasetId::kBle);
+      ble_cfg.seed = options.seed * 3 + 3;
+      mixed.append(generate_wifi_trace(wifi_cfg));
+      mixed.append(generate_zigbee_trace(zb_cfg));
+      mixed.append(generate_ble_trace(ble_cfg));
+      mixed.sort_by_time();
+      return mixed;
+    }
+  }
+  return pkt::Trace{};
+}
+
+}  // namespace p4iot::gen

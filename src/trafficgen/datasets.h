@@ -1,0 +1,37 @@
+// Canonical labelled datasets used across experiments.
+//
+// Every experiment in EXPERIMENTS.md pulls its traces from here so that the
+// "datasets" are fixed artifacts: same seed → same packets, across all bench
+// binaries. Mirrors the role of the public captures the paper evaluates on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "packet/trace.h"
+
+namespace p4iot::gen {
+
+/// The protocol environments evaluated in the paper ("network traces of
+/// different IoT protocols") plus a heterogeneous mix.
+enum class DatasetId { kWifiIp, kZigbee, kBle, kMixed };
+
+const char* dataset_name(DatasetId id) noexcept;
+std::vector<DatasetId> all_datasets();
+
+struct DatasetOptions {
+  std::uint64_t seed = 42;
+  double duration_s = 120.0;
+  int benign_devices = 10;
+  double attack_rate_pps = 40.0;
+};
+
+/// Build the canonical trace for a dataset: benign population plus one
+/// campaign of every attack type applicable to the protocol.
+pkt::Trace make_dataset(DatasetId id, const DatasetOptions& options = {});
+
+/// The attack types a dataset's generator can express.
+std::vector<pkt::AttackType> dataset_attacks(DatasetId id);
+
+}  // namespace p4iot::gen

@@ -1,0 +1,29 @@
+#include "trafficgen/scenario.h"
+
+namespace p4iot::gen {
+
+ScenarioConfig ScenarioConfig::with_default_attacks(std::uint64_t seed, double duration_s,
+                                                    std::vector<pkt::AttackType> types,
+                                                    double rate_pps) {
+  ScenarioConfig cfg;
+  cfg.seed = seed;
+  cfg.duration_s = duration_s;
+  if (types.empty()) return cfg;
+  // Tile the attack campaigns across the middle 80% of the trace so every
+  // campaign is surrounded by benign-only periods.
+  const double usable = duration_s * 0.8;
+  const double slot = usable / static_cast<double>(types.size());
+  double t = duration_s * 0.1;
+  for (const auto type : types) {
+    AttackWindow w;
+    w.type = type;
+    w.start_s = t;
+    w.end_s = t + slot * 0.7;  // 30% gap between campaigns
+    w.rate_pps = rate_pps;
+    cfg.attacks.push_back(w);
+    t += slot;
+  }
+  return cfg;
+}
+
+}  // namespace p4iot::gen

@@ -1,0 +1,38 @@
+// Scenario configuration shared by all per-protocol trace generators.
+//
+// This module substitutes for the paper's public IoT captures (see
+// DESIGN.md §2). Each generator simulates a population of benign devices
+// with realistic timing models (periodic telemetry with jitter, bursts,
+// request/response) and injects labelled attack traffic from compromised
+// devices during configurable attack windows.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "packet/packet.h"
+
+namespace p4iot::gen {
+
+/// A time window during which one attack campaign runs.
+struct AttackWindow {
+  pkt::AttackType type = pkt::AttackType::kNone;
+  double start_s = 0.0;
+  double end_s = 0.0;
+  double rate_pps = 50.0;  ///< attack packet rate while active
+};
+
+struct ScenarioConfig {
+  std::uint64_t seed = 1;
+  double duration_s = 60.0;
+  int benign_devices = 8;          ///< per generator; device mix is internal
+  double benign_rate_scale = 1.0;  ///< scales all benign traffic rates
+  std::vector<AttackWindow> attacks;
+
+  /// Convenience: one window per attack type spread over the duration.
+  static ScenarioConfig with_default_attacks(std::uint64_t seed, double duration_s,
+                                             std::vector<pkt::AttackType> types,
+                                             double rate_pps = 40.0);
+};
+
+}  // namespace p4iot::gen

@@ -1,0 +1,610 @@
+#include "trafficgen/wifi_gen.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "packet/app_layer.h"
+#include "packet/ethernet.h"
+
+namespace p4iot::gen {
+
+namespace {
+
+using common::ByteBuffer;
+using common::Rng;
+using pkt::AttackType;
+using pkt::Ipv4Address;
+using pkt::LinkType;
+using pkt::MacAddress;
+using pkt::Packet;
+using pkt::Trace;
+
+constexpr std::uint16_t kHttpsPort = 443;
+
+Ipv4Address lan_ip(int device) {
+  return Ipv4Address::from_octets(10, 0, 0, static_cast<std::uint8_t>(10 + device));
+}
+
+Ipv4Address cloud_ip(Rng& rng) {
+  return Ipv4Address::from_octets(52, static_cast<std::uint8_t>(rng.uniform_int(0, 63)),
+                                  static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                                  static_cast<std::uint8_t>(rng.uniform_int(1, 254)));
+}
+
+MacAddress device_mac(int device) {
+  return MacAddress::from_u64(0x02005e000000ULL + static_cast<std::uint64_t>(device));
+}
+
+const MacAddress kGatewayMac = MacAddress::from_u64(0x020000000001ULL);
+const Ipv4Address kGatewayIp = Ipv4Address::from_octets(10, 0, 0, 1);
+const Ipv4Address kMqttBroker = Ipv4Address::from_octets(10, 0, 0, 2);
+
+Packet make_packet(ByteBuffer bytes, double t, AttackType attack, std::uint32_t device) {
+  Packet p;
+  p.bytes = std::move(bytes);
+  p.timestamp_s = t;
+  p.link = LinkType::kEthernet;
+  p.attack = attack;
+  p.device_id = device;
+  return p;
+}
+
+ByteBuffer random_payload(Rng& rng, std::size_t len) {
+  ByteBuffer out(len);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+/// Per-device benign behaviour. Each model appends its packets over
+/// [0, duration) into the trace with its own timing process.
+class BenignDevice {
+ public:
+  BenignDevice(int id, Rng rng) : id_(id), rng_(rng) {}
+  virtual ~BenignDevice() = default;
+  virtual void emit(Trace& trace, double duration_s, double rate_scale) = 0;
+
+ protected:
+  int id_;
+  Rng rng_;
+};
+
+/// Bursty UDP video uploader + sparse TCP control channel.
+class Camera : public BenignDevice {
+ public:
+  using BenignDevice::BenignDevice;
+  void emit(Trace& trace, double duration_s, double rate_scale) override {
+    const Ipv4Address self = lan_ip(id_);
+    const Ipv4Address server = cloud_ip(rng_);
+    const auto sport = static_cast<std::uint16_t>(rng_.uniform_int(40000, 60000));
+    double t = rng_.uniform(0.0, 0.5);
+    std::uint16_t ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+    while (t < duration_s) {
+      // Burst of video frames, then an idle gap.
+      const int burst = static_cast<int>(rng_.pareto(4.0, 1.4));
+      for (int i = 0; i < std::min(burst, 64) && t < duration_s; ++i) {
+        pkt::UdpFrameSpec spec;
+        spec.eth_src = device_mac(id_);
+        spec.eth_dst = kGatewayMac;
+        spec.ip_src = self;
+        spec.ip_dst = server;
+        spec.src_port = sport;
+        spec.dst_port = 8554;  // RTSP-ish media port
+        spec.ip_id = ip_id++;
+        spec.payload = random_payload(rng_, 400 + rng_.next_below(800));
+        trace.add(make_packet(build_udp_frame(spec), t, AttackType::kNone,
+                              static_cast<std::uint32_t>(id_)));
+        t += rng_.exponential(200.0 * rate_scale);
+      }
+      // Control keepalive.
+      if (rng_.chance(0.3)) {
+        pkt::TcpFrameSpec ctl;
+        ctl.eth_src = device_mac(id_);
+        ctl.eth_dst = kGatewayMac;
+        ctl.ip_src = self;
+        ctl.ip_dst = server;
+        ctl.src_port = static_cast<std::uint16_t>(sport + 1);
+        ctl.dst_port = kHttpsPort;
+        ctl.flags = pkt::kTcpAck | pkt::kTcpPsh;
+        ctl.seq = static_cast<std::uint32_t>(rng_.next_u64());
+        ctl.ack = static_cast<std::uint32_t>(rng_.next_u64());
+        ctl.ip_id = ip_id++;
+        ctl.payload = random_payload(rng_, 48 + rng_.next_below(80));
+        trace.add(make_packet(build_tcp_frame(ctl), t, AttackType::kNone,
+                              static_cast<std::uint32_t>(id_)));
+      }
+      t += rng_.exponential(2.0 * rate_scale);
+    }
+  }
+};
+
+/// MQTT telemetry publisher.
+class SmartPlug : public BenignDevice {
+ public:
+  using BenignDevice::BenignDevice;
+  void emit(Trace& trace, double duration_s, double rate_scale) override {
+    const Ipv4Address self = lan_ip(id_);
+    const auto sport = static_cast<std::uint16_t>(rng_.uniform_int(30000, 50000));
+    std::uint16_t ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+    std::uint32_t seq = static_cast<std::uint32_t>(rng_.next_u64());
+    char client_id[32];
+    std::snprintf(client_id, sizeof client_id, "plug-%04d", id_);
+
+    auto tcp_to_broker = [&](ByteBuffer app, double t, std::uint8_t flags) {
+      pkt::TcpFrameSpec spec;
+      spec.eth_src = device_mac(id_);
+      spec.eth_dst = kGatewayMac;
+      spec.ip_src = self;
+      spec.ip_dst = kMqttBroker;
+      spec.src_port = sport;
+      spec.dst_port = pkt::kMqttPort;
+      spec.flags = flags;
+      spec.seq = seq;
+      spec.ack = (flags & pkt::kTcpSyn) ? 0 : static_cast<std::uint32_t>(rng_.next_u64());
+      spec.ip_id = ip_id++;
+      spec.payload = std::move(app);
+      seq += static_cast<std::uint32_t>(spec.payload.size());
+      trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+    };
+
+    double t = rng_.uniform(0.0, 1.0);
+    // Connection setup: SYN, then CONNECT.
+    tcp_to_broker({}, t, pkt::kTcpSyn);
+    t += 0.01;
+    tcp_to_broker(pkt::build_mqtt_connect(client_id), t, pkt::kTcpAck | pkt::kTcpPsh);
+    t += rng_.exponential(0.5);
+
+    char topic[48];
+    std::snprintf(topic, sizeof topic, "home/plug%d/power", id_);
+    while (t < duration_s) {
+      if (rng_.chance(0.85)) {
+        char reading[16];
+        std::snprintf(reading, sizeof reading, "%.1fW", rng_.uniform(0.0, 250.0));
+        const auto* bytes = reinterpret_cast<const std::uint8_t*>(reading);
+        tcp_to_broker(pkt::build_mqtt_publish(
+                          topic, std::span<const std::uint8_t>(bytes, std::strlen(reading))),
+                      t, pkt::kTcpAck | pkt::kTcpPsh);
+      } else {
+        tcp_to_broker(pkt::build_mqtt_pingreq(), t, pkt::kTcpAck | pkt::kTcpPsh);
+      }
+      t += rng_.exponential(0.8 * rate_scale) + 0.2;
+    }
+  }
+};
+
+/// CoAP polling sensor.
+class Thermostat : public BenignDevice {
+ public:
+  using BenignDevice::BenignDevice;
+  void emit(Trace& trace, double duration_s, double rate_scale) override {
+    const Ipv4Address self = lan_ip(id_);
+    const Ipv4Address server = cloud_ip(rng_);
+    const auto sport = static_cast<std::uint16_t>(rng_.uniform_int(30000, 60000));
+    std::uint16_t ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+    std::uint16_t mid = static_cast<std::uint16_t>(rng_.next_below(65536));
+
+    double t = rng_.uniform(0.0, 2.0);
+    while (t < duration_s) {
+      pkt::CoapMessage req;
+      req.type = pkt::CoapType::kConfirmable;
+      req.code = pkt::kCoapGet;
+      req.message_id = mid++;
+      req.token = random_payload(rng_, 4);
+      req.uri_path = "sensors/temp";
+
+      pkt::UdpFrameSpec spec;
+      spec.eth_src = device_mac(id_);
+      spec.eth_dst = kGatewayMac;
+      spec.ip_src = self;
+      spec.ip_dst = server;
+      spec.src_port = sport;
+      spec.dst_port = pkt::kCoapPort;
+      spec.ip_id = ip_id++;
+      spec.payload = pkt::build_coap(req);
+      trace.add(make_packet(build_udp_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+
+      // Response ~15ms later.
+      pkt::CoapMessage rsp;
+      rsp.type = pkt::CoapType::kAck;
+      rsp.code = pkt::kCoapContent;
+      rsp.message_id = req.message_id;
+      rsp.token = req.token;
+      char body[16];
+      std::snprintf(body, sizeof body, "%.1fC", rng_.uniform(18.0, 26.0));
+      rsp.payload.assign(body, body + std::strlen(body));
+
+      pkt::UdpFrameSpec rspec;
+      rspec.eth_src = kGatewayMac;
+      rspec.eth_dst = device_mac(id_);
+      rspec.ip_src = server;
+      rspec.ip_dst = self;
+      rspec.src_port = pkt::kCoapPort;
+      rspec.dst_port = sport;
+      rspec.ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+      rspec.payload = pkt::build_coap(rsp);
+      trace.add(make_packet(build_udp_frame(rspec), t + 0.015, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+
+      t += rng_.exponential(0.4 * rate_scale) + 0.5;
+    }
+  }
+};
+
+/// Long-lived TCP session with mixed payload sizes (streaming speaker).
+class Speaker : public BenignDevice {
+ public:
+  using BenignDevice::BenignDevice;
+  void emit(Trace& trace, double duration_s, double rate_scale) override {
+    const Ipv4Address self = lan_ip(id_);
+    const Ipv4Address server = cloud_ip(rng_);
+    const auto sport = static_cast<std::uint16_t>(rng_.uniform_int(40000, 60000));
+    std::uint16_t ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+    std::uint32_t seq = static_cast<std::uint32_t>(rng_.next_u64());
+    double t = rng_.uniform(0.0, 0.3);
+
+    // Handshake.
+    pkt::TcpFrameSpec syn;
+    syn.eth_src = device_mac(id_);
+    syn.eth_dst = kGatewayMac;
+    syn.ip_src = self;
+    syn.ip_dst = server;
+    syn.src_port = sport;
+    syn.dst_port = kHttpsPort;
+    syn.flags = pkt::kTcpSyn;
+    syn.seq = seq;
+    syn.ip_id = ip_id++;
+    trace.add(make_packet(build_tcp_frame(syn), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(id_)));
+    t += 0.02;
+
+    while (t < duration_s) {
+      pkt::TcpFrameSpec spec = syn;
+      spec.flags = pkt::kTcpAck | (rng_.chance(0.7) ? pkt::kTcpPsh : 0);
+      spec.seq = seq;
+      spec.ack = static_cast<std::uint32_t>(rng_.next_u64());
+      spec.ip_id = ip_id++;
+      spec.payload = random_payload(rng_, 100 + rng_.next_below(1200));
+      seq += static_cast<std::uint32_t>(spec.payload.size());
+      trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+      t += rng_.exponential(8.0 * rate_scale);
+    }
+  }
+};
+
+/// Occasional legitimate telnet admin session — deliberate overlap with the
+/// brute-force attack's destination port.
+class AdminHost : public BenignDevice {
+ public:
+  using BenignDevice::BenignDevice;
+  void emit(Trace& trace, double duration_s, double rate_scale) override {
+    const Ipv4Address self = lan_ip(id_);
+    std::uint16_t ip_id = static_cast<std::uint16_t>(rng_.next_below(65536));
+    double t = rng_.uniform(1.0, 5.0);
+    while (t < duration_s) {
+      // A short interactive session: SYN, a few keystroke packets, FIN.
+      const Ipv4Address target = lan_ip(static_cast<int>(rng_.uniform_int(0, 6)));
+      const auto sport = static_cast<std::uint16_t>(rng_.uniform_int(40000, 60000));
+      std::uint32_t seq = static_cast<std::uint32_t>(rng_.next_u64());
+      pkt::TcpFrameSpec spec;
+      spec.eth_src = device_mac(id_);
+      spec.eth_dst = kGatewayMac;
+      spec.ip_src = self;
+      spec.ip_dst = target;
+      spec.src_port = sport;
+      spec.dst_port = pkt::kTelnetPort;
+      spec.flags = pkt::kTcpSyn;
+      spec.seq = seq;
+      spec.ip_id = ip_id++;
+      trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+      t += 0.05;
+      const int keystrokes = static_cast<int>(rng_.uniform_int(3, 12));
+      for (int i = 0; i < keystrokes && t < duration_s; ++i) {
+        spec.flags = pkt::kTcpAck | pkt::kTcpPsh;
+        spec.seq = seq;
+        spec.ack = static_cast<std::uint32_t>(rng_.next_u64());
+        spec.ip_id = ip_id++;
+        // Keystrokes and short pasted commands: 1-10 bytes, overlapping the
+        // brute-force password-packet length range.
+        spec.payload = random_payload(rng_, 1 + rng_.next_below(10));
+        seq += static_cast<std::uint32_t>(spec.payload.size());
+        trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kNone,
+                              static_cast<std::uint32_t>(id_)));
+        t += rng_.exponential(2.0) + 0.1;
+      }
+      spec.flags = pkt::kTcpFin | pkt::kTcpAck;
+      spec.payload.clear();
+      spec.ip_id = ip_id++;
+      trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(id_)));
+      t += rng_.exponential(0.05 * rate_scale) + 10.0;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Attack campaigns. The attacker is a compromised LAN device; its IP/MAC are
+// ordinary device addresses (no trivial giveaway in the source fields).
+// ---------------------------------------------------------------------------
+
+void emit_port_scan(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  static constexpr std::uint16_t kScanPorts[] = {23, 2323, 22, 80, 8080, 8443, 5555, 7547};
+  const Ipv4Address self = lan_ip(attacker_id);
+  double t = w.start_s;
+  std::uint16_t ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+  int victim = 0;
+  while (t < w.end_s) {
+    pkt::TcpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = Ipv4Address::from_octets(10, 0, static_cast<std::uint8_t>(victim / 250),
+                                           static_cast<std::uint8_t>(2 + victim % 250));
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 65535));
+    spec.dst_port = kScanPorts[rng.next_below(std::size(kScanPorts))];
+    spec.flags = pkt::kTcpSyn;
+    spec.seq = static_cast<std::uint32_t>(rng.next_u64());
+    spec.window = 14600;  // Mirai-style fixed scanner window
+    spec.ttl = 255;       // raw-socket scanner TTL
+    spec.ip_id = ip_id++;
+    trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kPortScan,
+                          static_cast<std::uint32_t>(attacker_id)));
+    ++victim;
+    t += rng.exponential(w.rate_pps);
+  }
+}
+
+void emit_syn_flood(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  const Ipv4Address self = lan_ip(attacker_id);
+  const Ipv4Address victim = Ipv4Address::from_octets(10, 0, 0, 2);
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::TcpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = victim;
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.dst_port = 80;
+    spec.flags = pkt::kTcpSyn;
+    spec.seq = static_cast<std::uint32_t>(rng.next_u64());
+    spec.window = 512;  // floods use tiny windows
+    spec.ttl = 255;
+    spec.ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+    trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kSynFlood,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps * 4.0);  // floods are the highest-rate campaign
+  }
+}
+
+void emit_udp_flood(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  const Ipv4Address self = lan_ip(attacker_id);
+  const Ipv4Address victim = Ipv4Address::from_octets(10, 0, 0, 2);
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::UdpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = victim;
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(1024, 65535));
+    spec.dst_port = 53;
+    spec.ttl = 255;
+    spec.ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+    spec.payload = ByteBuffer(512, 0x41);  // fixed-size 'A' padding, flood signature
+    trace.add(make_packet(build_udp_frame(spec), t, AttackType::kUdpFlood,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps * 4.0);
+  }
+}
+
+void emit_brute_force(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  static constexpr const char* kPasswords[] = {"admin", "root", "12345", "password",
+                                               "default", "guest"};
+  const Ipv4Address self = lan_ip(attacker_id);
+  double t = w.start_s;
+  std::uint16_t ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+  while (t < w.end_s) {
+    const bool telnet = rng.chance(0.6);
+    pkt::TcpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = lan_ip(static_cast<int>(rng.uniform_int(0, 6)));
+    spec.src_port = static_cast<std::uint16_t>(rng.uniform_int(32768, 65535));
+    // Runs through the compromised device's OS stack: TTL stays ordinary,
+    // seq/ack look like any established connection.
+    spec.seq = static_cast<std::uint32_t>(rng.next_u64());
+    spec.ack = static_cast<std::uint32_t>(rng.next_u64());
+    spec.ip_id = ip_id++;
+    spec.flags = pkt::kTcpAck | pkt::kTcpPsh;
+    const char* pw = kPasswords[rng.next_below(std::size(kPasswords))];
+    if (telnet) {
+      spec.dst_port = pkt::kTelnetPort;
+      spec.payload.assign(pw, pw + std::strlen(pw));
+      spec.payload.push_back('\r');
+      spec.payload.push_back('\n');
+    } else {
+      spec.dst_port = pkt::kMqttPort;
+      spec.ip_dst = kMqttBroker;
+      char cid[24];
+      std::snprintf(cid, sizeof cid, "bot-%06llx",
+                    static_cast<unsigned long long>(rng.next_below(1 << 24)));
+      spec.payload = pkt::build_mqtt_connect(cid, "admin", pw);
+    }
+    trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kBruteForce,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps);
+  }
+}
+
+void emit_exfiltration(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  const Ipv4Address self = lan_ip(attacker_id);
+  // HTTPS exfiltration to an attacker-rented cloud VM: deliberately mimics
+  // benign TLS uploads; the distinguishing signal is the shifted packet-size
+  // distribution, not any single clean field.
+  const Ipv4Address drop_host = cloud_ip(rng);
+  const auto sport = static_cast<std::uint16_t>(rng.uniform_int(40000, 60000));
+  std::uint32_t seq = static_cast<std::uint32_t>(rng.next_u64());
+  std::uint16_t ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::TcpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = drop_host;
+    spec.src_port = sport;
+    spec.dst_port = kHttpsPort;
+    spec.flags = pkt::kTcpAck | pkt::kTcpPsh;
+    spec.seq = seq;
+    spec.ack = static_cast<std::uint32_t>(rng.next_u64());
+    spec.ip_id = ip_id++;
+    // 1100-1400B: overlaps the top of the benign streaming distribution.
+    spec.payload = random_payload(rng, 1100 + rng.next_below(300));
+    seq += static_cast<std::uint32_t>(spec.payload.size());
+    trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kExfiltration,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps);
+  }
+}
+
+void emit_mqtt_hijack(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  static constexpr const char* kControlTopics[] = {"home/lock/cmd", "home/alarm/disable",
+                                                   "home/garage/cmd"};
+  static constexpr const char* kCommands[] = {"UNLOCK", "OFF", "OPEN"};
+  const Ipv4Address self = lan_ip(attacker_id);
+  const auto sport = static_cast<std::uint16_t>(rng.uniform_int(30000, 50000));
+  std::uint16_t ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+  double t = w.start_s;
+  while (t < w.end_s) {
+    pkt::TcpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = kMqttBroker;
+    spec.src_port = sport;
+    spec.dst_port = pkt::kMqttPort;
+    spec.flags = pkt::kTcpAck | pkt::kTcpPsh;
+    spec.seq = static_cast<std::uint32_t>(rng.next_u64());
+    spec.ack = static_cast<std::uint32_t>(rng.next_u64());
+    spec.ip_id = ip_id++;
+    const std::size_t i = rng.next_below(std::size(kControlTopics));
+    const char* cmd = kCommands[i];
+    spec.payload = pkt::build_mqtt_publish(
+        kControlTopics[i],
+        std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(cmd),
+                                      std::strlen(cmd)),
+        /*flags=*/0x01);  // retain bit — hijackers pin their command
+    trace.add(make_packet(build_tcp_frame(spec), t, AttackType::kMqttHijack,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps * 0.5);
+  }
+}
+
+void emit_coap_flood(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id,
+                     double duration_s) {
+  // Stealth flood. The compromised thermostat keeps talking to ITS OWN
+  // cloud server with byte-identical well-formed CoAP GETs — same flow, same
+  // sizes, same everything — it just sends them two orders of magnitude
+  // faster while compromised. This emitter therefore produces BOTH the
+  // device's benign polling (outside the attack window, labelled benign)
+  // and the flood (inside it, labelled attack): per-packet, the two are
+  // indistinguishable by construction; only stateful rate accounting in the
+  // data plane can separate them.
+  const Ipv4Address self = lan_ip(attacker_id);
+  const Ipv4Address server = cloud_ip(rng);
+  const auto sport = static_cast<std::uint16_t>(rng.uniform_int(30000, 60000));
+  std::uint16_t ip_id = static_cast<std::uint16_t>(rng.next_below(65536));
+  std::uint16_t mid = static_cast<std::uint16_t>(rng.next_below(65536));
+
+  auto emit_get = [&](double t, AttackType label) {
+    pkt::CoapMessage req;
+    req.type = pkt::CoapType::kConfirmable;
+    req.code = pkt::kCoapGet;
+    req.message_id = mid++;
+    req.token = random_payload(rng, 4);
+    req.uri_path = "sensors/temp";
+
+    pkt::UdpFrameSpec spec;
+    spec.eth_src = device_mac(attacker_id);
+    spec.eth_dst = kGatewayMac;
+    spec.ip_src = self;
+    spec.ip_dst = server;
+    spec.src_port = sport;
+    spec.dst_port = pkt::kCoapPort;
+    spec.ip_id = ip_id++;
+    spec.payload = pkt::build_coap(req);
+    trace.add(make_packet(build_udp_frame(spec), t, label,
+                          static_cast<std::uint32_t>(attacker_id)));
+  };
+
+  double t = rng.uniform(0.0, 2.0);
+  while (t < duration_s) {
+    if (t >= w.start_s && t < w.end_s) {
+      emit_get(t, AttackType::kCoapFlood);
+      t += rng.exponential(w.rate_pps * 4.0);
+    } else {
+      emit_get(t, AttackType::kNone);
+      t += rng.exponential(0.4) + 0.5;  // normal polling cadence
+      // Don't let a long benign gap skip over the attack window start.
+      if (t > w.start_s && t - rng.uniform(0.0, 3.0) < w.start_s) t = w.start_s;
+    }
+  }
+}
+
+}  // namespace
+
+Trace generate_wifi_trace(const ScenarioConfig& config) {
+  Rng rng(config.seed);
+  Trace trace("wifi_ip");
+
+  for (int d = 0; d < config.benign_devices; ++d) {
+    std::unique_ptr<BenignDevice> device;
+    switch (d % 5) {
+      case 0: device = std::make_unique<Camera>(d, rng.fork()); break;
+      case 1: device = std::make_unique<SmartPlug>(d, rng.fork()); break;
+      case 2: device = std::make_unique<Thermostat>(d, rng.fork()); break;
+      case 3: device = std::make_unique<Speaker>(d, rng.fork()); break;
+      default: device = std::make_unique<AdminHost>(d, rng.fork()); break;
+    }
+    device->emit(trace, config.duration_s, config.benign_rate_scale);
+  }
+
+  // Attacks come from *compromised benign devices*: the attacker's MAC/IP
+  // also carries normal traffic, so source identity alone cannot separate
+  // the classes — the detector must key on behavioural header fields.
+  int campaign = 0;
+  for (const auto& w : config.attacks) {
+    const int attacker = std::max(config.benign_devices, 1) > 0
+                             ? campaign % std::max(config.benign_devices, 1)
+                             : 0;
+    Rng attack_rng = rng.fork();
+    switch (w.type) {
+      case AttackType::kPortScan: emit_port_scan(trace, w, attack_rng, attacker); break;
+      case AttackType::kSynFlood: emit_syn_flood(trace, w, attack_rng, attacker); break;
+      case AttackType::kUdpFlood: emit_udp_flood(trace, w, attack_rng, attacker); break;
+      case AttackType::kBruteForce: emit_brute_force(trace, w, attack_rng, attacker); break;
+      case AttackType::kExfiltration: emit_exfiltration(trace, w, attack_rng, attacker); break;
+      case AttackType::kMqttHijack: emit_mqtt_hijack(trace, w, attack_rng, attacker); break;
+      case AttackType::kCoapFlood:
+        // Stealth flood: uses a dedicated extra device so its benign CoAP
+        // baseline (emitted by the same function) is part of the scenario.
+        emit_coap_flood(trace, w, attack_rng, config.benign_devices + campaign,
+                        config.duration_s);
+        break;
+      default: break;  // non-IP attacks are ignored by this generator
+    }
+    ++campaign;
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace p4iot::gen

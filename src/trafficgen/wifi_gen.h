@@ -1,0 +1,29 @@
+// Wi-Fi/IP IoT traffic generator (Ethernet II frames at the gateway).
+//
+// Benign device population (round-robin over the configured count):
+//   camera      — bursty UDP video upstream + periodic TCP control
+//   smart plug  — MQTT CONNECT once, periodic PUBLISH telemetry + PINGREQ
+//   thermostat  — CoAP GET/response cycles with the cloud
+//   speaker     — long-lived TCP session, mixed payload sizes
+//   admin host  — occasional benign telnet session (overlaps with the
+//                 brute-force attack's dst port on purpose: attacks must not
+//                 be separable by a single trivial field)
+//
+// Attack campaigns (from compromised-device IPs inside the LAN):
+//   kPortScan     SYN sweep over victim IPs × IoT ports
+//   kSynFlood     SYN DoS on one victim:80, randomized src ports
+//   kUdpFlood     fixed-size UDP blast on victim:53
+//   kBruteForce   telnet + MQTT CONNECT credential guessing
+//   kExfiltration large PSH+ACK uploads to an unusual external host
+//   kMqttHijack   PUBLISH to lock/control topics
+#pragma once
+
+#include "common/rng.h"
+#include "packet/trace.h"
+#include "trafficgen/scenario.h"
+
+namespace p4iot::gen {
+
+pkt::Trace generate_wifi_trace(const ScenarioConfig& config);
+
+}  // namespace p4iot::gen

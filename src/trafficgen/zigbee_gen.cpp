@@ -1,0 +1,226 @@
+#include "trafficgen/zigbee_gen.h"
+
+#include <memory>
+
+#include "common/rng.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::gen {
+
+namespace {
+
+using common::ByteBuffer;
+using common::Rng;
+using pkt::AttackType;
+using pkt::LinkType;
+using pkt::Packet;
+using pkt::Trace;
+
+constexpr std::uint16_t kCoordinator = 0x0000;
+
+std::uint16_t device_addr(int device) {
+  return static_cast<std::uint16_t>(0x1000 + device * 0x11);
+}
+
+Packet make_packet(ByteBuffer bytes, double t, AttackType attack, std::uint32_t device) {
+  Packet p;
+  p.bytes = std::move(bytes);
+  p.timestamp_s = t;
+  p.link = LinkType::kIeee802154;
+  p.attack = attack;
+  p.device_id = device;
+  return p;
+}
+
+/// ZCL "report attributes" payload: cmd 0x0a, attr id, type, value.
+ByteBuffer zcl_report(std::uint16_t attr_id, std::uint8_t type, std::uint16_t value,
+                      std::uint8_t zcl_seq) {
+  ByteBuffer out;
+  common::append_u8(out, 0x18);  // ZCL frame control: profile-wide, server->client
+  common::append_u8(out, zcl_seq);
+  common::append_u8(out, 0x0a);  // report attributes
+  common::append_be16(out, attr_id);
+  common::append_u8(out, type);
+  common::append_be16(out, value);
+  return out;
+}
+
+/// ZCL cluster command payload (e.g., on/off, lock/unlock).
+ByteBuffer zcl_command(std::uint8_t command, std::uint8_t zcl_seq) {
+  ByteBuffer out;
+  common::append_u8(out, 0x01);  // cluster-specific, client->server
+  common::append_u8(out, zcl_seq);
+  common::append_u8(out, command);
+  return out;
+}
+
+struct DeviceState {
+  int id = 0;
+  std::uint8_t mac_seq = 0;
+  std::uint8_t nwk_seq = 0;
+  std::uint8_t aps_counter = 0;
+  std::uint8_t zcl_seq = 0;
+};
+
+pkt::ZigbeeFrameSpec base_spec(DeviceState& dev, std::uint16_t dst) {
+  pkt::ZigbeeFrameSpec spec;
+  spec.mac_seq = dev.mac_seq++;
+  spec.nwk_seq = dev.nwk_seq++;
+  spec.aps_counter = dev.aps_counter++;
+  spec.mac_src = device_addr(dev.id);
+  spec.nwk_src = device_addr(dev.id);
+  spec.mac_dst = dst;  // single-hop mesh: MAC dst == NWK dst
+  spec.nwk_dst = dst;
+  return spec;
+}
+
+void emit_temp_sensor(Trace& trace, DeviceState& dev, Rng& rng, double duration_s,
+                      double rate_scale) {
+  double t = rng.uniform(0.0, 3.0);
+  while (t < duration_s) {
+    auto spec = base_spec(dev, kCoordinator);
+    spec.cluster_id = pkt::kClusterTempMeasurement;
+    spec.dst_endpoint = 1;
+    spec.src_endpoint = 1;
+    // Temperature in 0.01 degC, wandering around 22C.
+    const auto temp = static_cast<std::uint16_t>(2200 + rng.uniform_int(-150, 150));
+    spec.payload = zcl_report(0x0000, 0x29, temp, dev.zcl_seq++);
+    trace.add(make_packet(build_zigbee_frame(spec), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(dev.id)));
+    t += rng.exponential(0.25 * rate_scale) + 1.0;  // report every few seconds
+  }
+}
+
+void emit_door_lock(Trace& trace, DeviceState& dev, Rng& rng, double duration_s,
+                    double rate_scale) {
+  double t = rng.uniform(2.0, 8.0);
+  while (t < duration_s) {
+    // Lock event: coordinator commands the lock, lock reports status back.
+    DeviceState coord{/*id=*/0, dev.mac_seq, dev.nwk_seq, dev.aps_counter, dev.zcl_seq};
+    auto cmd = base_spec(coord, device_addr(dev.id));
+    cmd.nwk_src = kCoordinator;
+    cmd.mac_src = kCoordinator;
+    cmd.cluster_id = pkt::kClusterDoorLock;
+    cmd.dst_endpoint = 1;
+    cmd.payload = zcl_command(rng.chance(0.5) ? 0x00 : 0x01, dev.zcl_seq++);  // lock/unlock
+    trace.add(make_packet(build_zigbee_frame(cmd), t, AttackType::kNone, 0));
+
+    auto status = base_spec(dev, kCoordinator);
+    status.cluster_id = pkt::kClusterDoorLock;
+    status.payload = zcl_report(0x0000, 0x30, rng.chance(0.5) ? 1 : 2, dev.zcl_seq++);
+    trace.add(make_packet(build_zigbee_frame(status), t + 0.08, AttackType::kNone,
+                          static_cast<std::uint32_t>(dev.id)));
+    t += rng.exponential(0.08 * rate_scale) + 5.0;
+  }
+}
+
+void emit_motion_sensor(Trace& trace, DeviceState& dev, Rng& rng, double duration_s,
+                        double rate_scale) {
+  double t = rng.uniform(0.0, 5.0);
+  while (t < duration_s) {
+    // Motion bursts: a few zone notifications close together.
+    const int burst = static_cast<int>(rng.uniform_int(1, 4));
+    for (int i = 0; i < burst && t < duration_s; ++i) {
+      auto spec = base_spec(dev, kCoordinator);
+      spec.cluster_id = pkt::kClusterIasZone;
+      spec.payload = zcl_command(0x00, dev.zcl_seq++);  // zone status change
+      common::append_be16(spec.payload, 0x0001);        // alarm1 bit
+      trace.add(make_packet(build_zigbee_frame(spec), t, AttackType::kNone,
+                            static_cast<std::uint32_t>(dev.id)));
+      t += rng.exponential(3.0);
+    }
+    t += rng.exponential(0.12 * rate_scale) + 2.0;
+  }
+}
+
+void emit_switch(Trace& trace, DeviceState& dev, Rng& rng, double duration_s,
+                 double rate_scale) {
+  double t = rng.uniform(1.0, 10.0);
+  while (t < duration_s) {
+    auto spec = base_spec(dev, kCoordinator);
+    spec.cluster_id = pkt::kClusterOnOff;
+    spec.payload = zcl_command(rng.chance(0.5) ? 0x01 : 0x00, dev.zcl_seq++);
+    trace.add(make_packet(build_zigbee_frame(spec), t, AttackType::kNone,
+                          static_cast<std::uint32_t>(dev.id)));
+    t += rng.exponential(0.05 * rate_scale) + 8.0;
+  }
+}
+
+void emit_zigbee_flood(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id) {
+  DeviceState dev{attacker_id};
+  double t = w.start_s;
+  while (t < w.end_s) {
+    auto spec = base_spec(dev, rng.chance(0.7) ? pkt::kZigbeeBroadcastAll
+                                               : pkt::kZigbeeBroadcastRouters);
+    spec.cluster_id = pkt::kClusterOnOff;
+    spec.radius = 1;  // storm frames don't need to travel
+    spec.payload = zcl_command(0x02, dev.zcl_seq++);  // toggle
+    trace.add(make_packet(build_zigbee_frame(spec), t, AttackType::kZigbeeFlood,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps * 3.0);
+  }
+}
+
+void emit_zigbee_spoof(Trace& trace, const AttackWindow& w, Rng& rng, int attacker_id,
+                       int n_devices) {
+  DeviceState dev{attacker_id};
+  double t = w.start_s;
+  while (t < w.end_s) {
+    // Forged "coordinator" command to a lock, but carried in a MAC frame
+    // whose source is the attacker's radio — the NWK/MAC source mismatch is
+    // the spoof signature.
+    const int victim = static_cast<int>(rng.uniform_int(0, n_devices - 1));
+    auto spec = base_spec(dev, device_addr(victim));
+    spec.nwk_src = kCoordinator;  // lie at the NWK layer
+    spec.cluster_id = pkt::kClusterDoorLock;
+    spec.dst_endpoint = 1;
+    spec.payload = zcl_command(0x01, dev.zcl_seq++);  // unlock
+    trace.add(make_packet(build_zigbee_frame(spec), t, AttackType::kZigbeeSpoof,
+                          static_cast<std::uint32_t>(attacker_id)));
+    t += rng.exponential(w.rate_pps);
+  }
+}
+
+}  // namespace
+
+Trace generate_zigbee_trace(const ScenarioConfig& config) {
+  Rng rng(config.seed ^ 0x5a5a5a5aULL);
+  Trace trace("zigbee");
+
+  for (int d = 1; d <= config.benign_devices; ++d) {
+    DeviceState dev{d};
+    Rng device_rng = rng.fork();
+    switch (d % 4) {
+      case 0: emit_temp_sensor(trace, dev, device_rng, config.duration_s,
+                               config.benign_rate_scale); break;
+      case 1: emit_door_lock(trace, dev, device_rng, config.duration_s,
+                             config.benign_rate_scale); break;
+      case 2: emit_motion_sensor(trace, dev, device_rng, config.duration_s,
+                                 config.benign_rate_scale); break;
+      default: emit_switch(trace, dev, device_rng, config.duration_s,
+                           config.benign_rate_scale); break;
+    }
+  }
+
+  // Compromised-device attackers: the radio address also carries benign
+  // traffic (see wifi_gen.cpp for the rationale).
+  int campaign = 0;
+  for (const auto& w : config.attacks) {
+    const int attacker = 1 + campaign % std::max(config.benign_devices, 1);
+    Rng attack_rng = rng.fork();
+    switch (w.type) {
+      case AttackType::kZigbeeFlood: emit_zigbee_flood(trace, w, attack_rng, attacker); break;
+      case AttackType::kZigbeeSpoof:
+        emit_zigbee_spoof(trace, w, attack_rng, attacker,
+                          std::max(config.benign_devices, 2));
+        break;
+      default: break;
+    }
+    ++campaign;
+  }
+
+  trace.sort_by_time();
+  return trace;
+}
+
+}  // namespace p4iot::gen

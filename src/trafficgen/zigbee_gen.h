@@ -1,0 +1,20 @@
+// Zigbee (IEEE 802.15.4) IoT traffic generator.
+//
+// Benign device population: temperature sensors (periodic attribute
+// reports), door locks (sparse lock/unlock events + status), motion sensors
+// (IAS zone notifications in bursts), on/off switches (rare commands), all
+// routed through coordinator 0x0000.
+//
+// Attack campaigns:
+//   kZigbeeFlood  NWK broadcast storm (dst 0xFFFF/0xFFFC) at high rate
+//   kZigbeeSpoof  forged APS DoorLock commands claiming coordinator source
+#pragma once
+
+#include "packet/trace.h"
+#include "trafficgen/scenario.h"
+
+namespace p4iot::gen {
+
+pkt::Trace generate_zigbee_trace(const ScenarioConfig& config);
+
+}  // namespace p4iot::gen

@@ -1,0 +1,24 @@
+#!/bin/sh
+# CLI end-to-end smoke test: generate → train → eval → inspect → convert.
+set -e
+P4IOTC="$1"
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+
+"$P4IOTC" generate --dataset wifi_ip --out "$DIR/cap.trc" --duration 30 --seed 9
+"$P4IOTC" train --trace "$DIR/cap.trc" --fields 4 --out "$DIR/model.bin" \
+  --p4 "$DIR/fw.p4" --rules "$DIR/rules.txt"
+"$P4IOTC" eval --model "$DIR/model.bin" --trace "$DIR/cap.trc" | grep -q "acc="
+"$P4IOTC" inspect --model "$DIR/model.bin" | grep -q "rules:"
+"$P4IOTC" convert --trace "$DIR/cap.trc" --pcap-prefix "$DIR/cap"
+test -s "$DIR/fw.p4"
+test -s "$DIR/rules.txt"
+test -s "$DIR/cap_ethernet.pcap"
+# Error paths exit non-zero.
+if "$P4IOTC" eval --model /nonexistent --trace "$DIR/cap.trc" 2>/dev/null; then
+  echo "expected failure on missing model" >&2; exit 1
+fi
+if "$P4IOTC" bogus-command 2>/dev/null; then
+  echo "expected failure on bogus command" >&2; exit 1
+fi
+echo "cli smoke OK"

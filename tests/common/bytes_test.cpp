@@ -1,0 +1,108 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace p4iot::common {
+namespace {
+
+TEST(Bytes, ReadBe16) {
+  const ByteBuffer buf = {0x12, 0x34, 0x56};
+  EXPECT_EQ(read_be16(buf, 0), 0x1234);
+  EXPECT_EQ(read_be16(buf, 1), 0x3456);
+}
+
+TEST(Bytes, ReadBe16OutOfRangeReturnsZero) {
+  const ByteBuffer buf = {0x12};
+  EXPECT_EQ(read_be16(buf, 0), 0);
+  EXPECT_EQ(read_be16(buf, 5), 0);
+  EXPECT_EQ(read_be16({}, 0), 0);
+}
+
+TEST(Bytes, ReadBe32) {
+  const ByteBuffer buf = {0xde, 0xad, 0xbe, 0xef};
+  EXPECT_EQ(read_be32(buf, 0), 0xdeadbeefu);
+}
+
+TEST(Bytes, ReadBe64) {
+  const ByteBuffer buf = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_EQ(read_be64(buf, 0), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, ReadBeVariableWidth) {
+  const ByteBuffer buf = {0xab, 0xcd, 0xef};
+  EXPECT_EQ(read_be(buf, 0, 1), 0xab);
+  EXPECT_EQ(read_be(buf, 0, 2), 0xabcd);
+  EXPECT_EQ(read_be(buf, 0, 3), 0xabcdef);
+  EXPECT_EQ(read_be(buf, 0, 0), 0);   // zero width invalid
+  EXPECT_EQ(read_be(buf, 0, 9), 0);   // too wide
+  EXPECT_EQ(read_be(buf, 2, 2), 0);   // truncated
+}
+
+TEST(Bytes, AppendRoundTrip) {
+  ByteBuffer buf;
+  append_u8(buf, 0x01);
+  append_be16(buf, 0x2345);
+  append_be32(buf, 0x6789abcd);
+  append_be64(buf, 0x1122334455667788ULL);
+  ASSERT_EQ(buf.size(), 15u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(read_be16(buf, 1), 0x2345);
+  EXPECT_EQ(read_be32(buf, 3), 0x6789abcdu);
+  EXPECT_EQ(read_be64(buf, 7), 0x1122334455667788ULL);
+}
+
+TEST(Bytes, WriteBe16InPlace) {
+  ByteBuffer buf(4, 0);
+  write_be16(buf, 1, 0xbeef);
+  EXPECT_EQ(buf[1], 0xbe);
+  EXPECT_EQ(buf[2], 0xef);
+  write_be16(buf, 3, 0x1234);  // out of range: ignored
+  EXPECT_EQ(buf[3], 0);
+}
+
+TEST(Bytes, ToHexPlain) {
+  const ByteBuffer buf = {0xde, 0xad};
+  EXPECT_EQ(to_hex(buf), "dead");
+  EXPECT_EQ(to_hex(buf, ':'), "de:ad");
+  EXPECT_EQ(to_hex({}), "");
+}
+
+TEST(Bytes, FromHexRoundTrip) {
+  EXPECT_EQ(from_hex("dead"), (ByteBuffer{0xde, 0xad}));
+  EXPECT_EQ(from_hex("de:ad:01"), (ByteBuffer{0xde, 0xad, 0x01}));
+  EXPECT_EQ(from_hex("DEAD"), (ByteBuffer{0xde, 0xad}));
+}
+
+TEST(Bytes, FromHexRejectsMalformed) {
+  EXPECT_TRUE(from_hex("xyz").empty());
+  EXPECT_TRUE(from_hex("abc").empty());  // odd digit count
+}
+
+TEST(Bytes, HexDumpShape) {
+  ByteBuffer buf(20);
+  for (std::size_t i = 0; i < buf.size(); ++i) buf[i] = static_cast<std::uint8_t>(i);
+  const std::string dump = hex_dump(buf);
+  EXPECT_NE(dump.find("0000"), std::string::npos);
+  EXPECT_NE(dump.find("0010"), std::string::npos);  // second row
+  EXPECT_NE(dump.find('|'), std::string::npos);
+}
+
+TEST(Bytes, InternetChecksumKnownVector) {
+  // RFC 1071 example-style: checksum of a buffer plus its checksum is 0.
+  ByteBuffer buf = {0x45, 0x00, 0x00, 0x3c, 0x1c, 0x46, 0x40, 0x00,
+                    0x40, 0x06, 0x00, 0x00, 0xac, 0x10, 0x0a, 0x63,
+                    0xac, 0x10, 0x0a, 0x0c};
+  const std::uint16_t csum = internet_checksum(buf);
+  write_be16(buf, 10, csum);
+  EXPECT_EQ(internet_checksum(buf), 0);
+}
+
+TEST(Bytes, InternetChecksumOddLength) {
+  const ByteBuffer buf = {0x01, 0x02, 0x03};
+  // Odd trailing byte is padded with zero on the right.
+  const std::uint32_t sum = 0x0102 + 0x0300;
+  EXPECT_EQ(internet_checksum(buf), static_cast<std::uint16_t>(~sum));
+}
+
+}  // namespace
+}  // namespace p4iot::common

@@ -1,0 +1,142 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace p4iot::common {
+namespace {
+
+TEST(ConfusionMatrix, CountsByQuadrant) {
+  ConfusionMatrix cm;
+  cm.add(true, true);    // tp
+  cm.add(true, false);   // fn
+  cm.add(false, true);   // fp
+  cm.add(false, false);  // tn
+  EXPECT_EQ(cm.tp, 1u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+  EXPECT_EQ(cm.total(), 4u);
+}
+
+TEST(ConfusionMatrix, PerfectClassifier) {
+  ConfusionMatrix cm;
+  for (int i = 0; i < 10; ++i) cm.add(true, true);
+  for (int i = 0; i < 90; ++i) cm.add(false, false);
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.f1(), 1.0);
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 0.0);
+}
+
+TEST(ConfusionMatrix, KnownValues) {
+  ConfusionMatrix cm;
+  cm.tp = 8; cm.fn = 2; cm.fp = 4; cm.tn = 86;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.94);
+  EXPECT_DOUBLE_EQ(cm.precision(), 8.0 / 12.0);
+  EXPECT_DOUBLE_EQ(cm.recall(), 0.8);
+  const double p = 8.0 / 12.0, r = 0.8;
+  EXPECT_DOUBLE_EQ(cm.f1(), 2 * p * r / (p + r));
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 4.0 / 90.0);
+  EXPECT_DOUBLE_EQ(cm.false_negative_rate(), 0.2);
+}
+
+TEST(ConfusionMatrix, EmptyIsSafe) {
+  const ConfusionMatrix cm;
+  EXPECT_DOUBLE_EQ(cm.accuracy(), 0.0);
+  EXPECT_DOUBLE_EQ(cm.precision(), 1.0);  // vacuous precision
+  EXPECT_DOUBLE_EQ(cm.recall(), 1.0);     // vacuous recall
+  EXPECT_DOUBLE_EQ(cm.false_positive_rate(), 0.0);
+}
+
+TEST(ConfusionMatrix, MergeAddsCounts) {
+  ConfusionMatrix a, b;
+  a.tp = 1; a.fp = 2;
+  b.tn = 3; b.fn = 4;
+  a.merge(b);
+  EXPECT_EQ(a.tp, 1u);
+  EXPECT_EQ(a.fp, 2u);
+  EXPECT_EQ(a.tn, 3u);
+  EXPECT_EQ(a.fn, 4u);
+}
+
+TEST(ConfusionMatrix, SummaryMentionsMetrics) {
+  ConfusionMatrix cm;
+  cm.add(true, true);
+  const std::string s = cm.summary();
+  EXPECT_NE(s.find("acc="), std::string::npos);
+  EXPECT_NE(s.find("f1="), std::string::npos);
+}
+
+TEST(RocAuc, PerfectSeparation) {
+  const std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 1.0);
+}
+
+TEST(RocAuc, PerfectInversion) {
+  const std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  const std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.0);
+}
+
+TEST(RocAuc, AllTiedIsHalf) {
+  const std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, SingleClassIsHalf) {
+  const std::vector<double> scores = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, std::vector<int>{1, 1}), 0.5);
+  EXPECT_DOUBLE_EQ(roc_auc(scores, std::vector<int>{0, 0}), 0.5);
+}
+
+TEST(RocAuc, PartialOverlapKnownValue) {
+  // pos scores {0.4, 0.8}, neg {0.2, 0.6}: pairs won 3/4.
+  const std::vector<double> scores = {0.2, 0.4, 0.6, 0.8};
+  const std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.75);
+}
+
+TEST(EvaluatePredictions, MatchesManualCount) {
+  const std::vector<int> predicted = {1, 0, 1, 0, 1};
+  const std::vector<int> labels = {1, 1, 0, 0, 1};
+  const auto cm = evaluate_predictions(predicted, labels);
+  EXPECT_EQ(cm.tp, 2u);
+  EXPECT_EQ(cm.fn, 1u);
+  EXPECT_EQ(cm.fp, 1u);
+  EXPECT_EQ(cm.tn, 1u);
+}
+
+TEST(RunningStats, WelfordMatchesClosedForm) {
+  RunningStats stats;
+  const std::vector<double> xs = {2, 4, 4, 4, 5, 5, 7, 9};
+  for (const double x : xs) stats.add(x);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStats, EmptyIsSafe) {
+  const RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(Percentile, InterpolatesLinearly) {
+  const std::vector<double> v = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 40.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 25.0);
+  EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 99), 7.0);
+}
+
+}  // namespace
+}  // namespace p4iot::common

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "common/csv.h"
+#include "common/table.h"
+
+namespace p4iot::common {
+namespace {
+
+TEST(TextTable, RendersHeaderSeparatorAndRows) {
+  TextTable t("R0: demo");
+  t.set_header({"col_a", "b"});
+  t.add_row({"1", "two"});
+  t.add_row({"333", "4"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("== R0: demo =="), std::string::npos);
+  EXPECT_NE(s.find("col_a"), std::string::npos);
+  EXPECT_NE(s.find("-+-"), std::string::npos);
+  EXPECT_NE(s.find("333"), std::string::npos);
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t("x");
+  t.set_header({"a", "b"});
+  t.add_row({"wide-cell", "y"});
+  const std::string s = t.render();
+  // Header cell "a" must be padded to the width of "wide-cell".
+  EXPECT_NE(s.find("a         | b"), std::string::npos);
+}
+
+TEST(TextTable, CaptionIncluded) {
+  TextTable t("title");
+  t.set_caption("a caption line");
+  const std::string s = t.render();
+  EXPECT_NE(s.find("a caption line"), std::string::npos);
+}
+
+TEST(TextTable, RaggedRowsTolerated) {
+  TextTable t("ragged");
+  t.set_header({"a", "b", "c"});
+  t.add_row({"1"});
+  t.add_row({"1", "2", "3", "4"});
+  EXPECT_FALSE(t.render().empty());
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(0.98765, 3), "0.988");
+  EXPECT_EQ(TextTable::num(1.0, 1), "1.0");
+  EXPECT_EQ(TextTable::integer(-42), "-42");
+}
+
+TEST(CsvWriter, PlainRender) {
+  CsvWriter w;
+  w.set_header({"a", "b"});
+  w.add_row({"1", "2"});
+  EXPECT_EQ(w.render(), "a,b\n1,2\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter w;
+  w.add_row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(w.render(), "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvWriter, WriteFileRoundTrip) {
+  CsvWriter w;
+  w.set_header({"x"});
+  w.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/p4iot_csv_test.csv";
+  ASSERT_TRUE(w.write_file(path));
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof buf - 1, f);
+  std::fclose(f);
+  EXPECT_EQ(std::string(buf, n), "x\n42\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriter, WriteFileFailsOnBadPath) {
+  CsvWriter w;
+  EXPECT_FALSE(w.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+}  // namespace
+}  // namespace p4iot::common

@@ -1,0 +1,171 @@
+#include "core/field_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace p4iot::core {
+namespace {
+
+/// Trace where byte 5 perfectly separates attack (0xF0) from benign (0x10),
+/// byte 9 separates weakly, and everything else is constant or noise.
+pkt::Trace synthetic_trace(int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  pkt::Trace trace;
+  for (int i = 0; i < n; ++i) {
+    pkt::Packet p;
+    p.bytes.assign(16, 0x00);
+    const bool attack = i % 2 == 0;
+    p.bytes[5] = attack ? 0xf0 : 0x10;
+    p.bytes[9] = attack ? (rng.chance(0.7) ? 0xaa : 0x11) : 0x11;
+    p.bytes[12] = static_cast<std::uint8_t>(rng.next_below(256));  // noise
+    p.attack = attack ? pkt::AttackType::kSynFlood : pkt::AttackType::kNone;
+    trace.add(std::move(p));
+  }
+  return trace;
+}
+
+FieldSelectionConfig fast_config(std::size_t k) {
+  FieldSelectionConfig config;
+  config.window_bytes = 16;
+  config.num_fields = k;
+  config.probe.epochs = 10;
+  config.autoencoder.epochs = 8;
+  return config;
+}
+
+TEST(FieldSelection, FindsTheDiscriminativeByte) {
+  const auto trace = synthetic_trace(600, 1);
+  const auto result = select_fields(trace, fast_config(2));
+  ASSERT_FALSE(result.fields.empty());
+  // Byte 5 must be inside the top-ranked field.
+  const auto& top = result.fields.front();
+  EXPECT_GE(5u, top.offset);
+  EXPECT_LT(5u, top.offset + top.width);
+}
+
+TEST(FieldSelection, SaliencyVectorsWellFormed) {
+  const auto trace = synthetic_trace(400, 2);
+  const auto result = select_fields(trace, fast_config(3));
+  ASSERT_EQ(result.byte_saliency.size(), 16u);
+  ASSERT_EQ(result.gradient_saliency.size(), 16u);
+  ASSERT_EQ(result.autoencoder_saliency.size(), 16u);
+  double grad_sum = 0.0, combined_sum = 0.0;
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_GE(result.byte_saliency[i], 0.0);
+    grad_sum += result.gradient_saliency[i];
+    combined_sum += result.byte_saliency[i];
+  }
+  EXPECT_NEAR(grad_sum, 1.0, 1e-6);
+  EXPECT_NEAR(combined_sum, 1.0, 1e-6);
+}
+
+TEST(FieldSelection, DiscriminativeByteOutranksNoise) {
+  const auto trace = synthetic_trace(600, 3);
+  const auto result = select_fields(trace, fast_config(2));
+  EXPECT_GT(result.gradient_saliency[5], result.gradient_saliency[12] * 2);
+  EXPECT_GT(result.gradient_saliency[5], result.gradient_saliency[0] * 5);
+}
+
+TEST(FieldSelection, RespectsFieldBudget) {
+  const auto trace = synthetic_trace(300, 4);
+  for (std::size_t k = 1; k <= 4; ++k) {
+    const auto result = select_fields(trace, fast_config(k));
+    EXPECT_LE(result.fields.size(), k);
+    EXPECT_GE(result.fields.size(), 1u);
+  }
+}
+
+TEST(FieldSelection, SourceAblationsRun) {
+  const auto trace = synthetic_trace(300, 5);
+  for (const auto source : {SaliencySource::kCombined, SaliencySource::kGradientOnly,
+                            SaliencySource::kAutoencoderOnly}) {
+    auto config = fast_config(2);
+    config.source = source;
+    const auto result = select_fields(trace, config);
+    EXPECT_FALSE(result.fields.empty());
+  }
+  // Gradient-only must not have spent time on the autoencoder signal.
+  auto config = fast_config(2);
+  config.source = SaliencySource::kGradientOnly;
+  const auto result = select_fields(trace, config);
+  double ae_sum = 0.0;
+  for (const double v : result.autoencoder_saliency) ae_sum += v;
+  EXPECT_DOUBLE_EQ(ae_sum, 0.0);
+}
+
+TEST(FieldSelection, DeterministicForSeed) {
+  const auto trace = synthetic_trace(300, 6);
+  const auto a = select_fields(trace, fast_config(3));
+  const auto b = select_fields(trace, fast_config(3));
+  ASSERT_EQ(a.fields.size(), b.fields.size());
+  for (std::size_t i = 0; i < a.fields.size(); ++i) EXPECT_EQ(a.fields[i], b.fields[i]);
+}
+
+TEST(FieldSelection, EmptyTraceIsSafe) {
+  const auto result = select_fields(pkt::Trace{}, fast_config(3));
+  EXPECT_TRUE(result.fields.empty());
+  EXPECT_EQ(result.byte_saliency.size(), 16u);
+}
+
+// --- group_bytes_into_fields unit tests --------------------------------
+
+TEST(GroupBytes, SingleBytesWithoutGrouping) {
+  const std::vector<double> saliency = {0.1, 0.5, 0.2, 0.4};
+  const auto fields = group_bytes_into_fields(saliency, 2, 2, /*group=*/false);
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0].offset, 1u);
+  EXPECT_EQ(fields[0].width, 1u);
+  EXPECT_EQ(fields[1].offset, 3u);
+}
+
+TEST(GroupBytes, MergesAdjacentBytes) {
+  // Bytes 4 and 5 both hot → one 2-byte field.
+  const std::vector<double> saliency = {0, 0, 0, 0, 0.5, 0.45, 0, 0.2};
+  const auto fields = group_bytes_into_fields(saliency, 2, 2, true);
+  ASSERT_GE(fields.size(), 1u);
+  EXPECT_EQ(fields[0].offset, 4u);
+  EXPECT_EQ(fields[0].width, 2u);
+  EXPECT_NEAR(fields[0].saliency, 0.95, 1e-12);
+}
+
+TEST(GroupBytes, MaxWidthLimitsMerge) {
+  const std::vector<double> saliency = {0.5, 0.49, 0.48, 0.47};
+  const auto fields = group_bytes_into_fields(saliency, 2, 2, true);
+  for (const auto& f : fields) EXPECT_LE(f.width, 2u);
+  // All four bytes covered by two 2-byte fields.
+  std::size_t covered = 0;
+  for (const auto& f : fields) covered += f.width;
+  EXPECT_EQ(covered, 4u);
+}
+
+TEST(GroupBytes, ExtendsLeftAndRight) {
+  // Hot center byte, then neighbours on both sides.
+  const std::vector<double> saliency = {0, 0.3, 0.9, 0.31, 0};
+  const auto fields = group_bytes_into_fields(saliency, 1, 3, true);
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0].offset, 1u);
+  EXPECT_EQ(fields[0].width, 3u);
+}
+
+TEST(GroupBytes, ZeroSaliencyBytesIgnored) {
+  const std::vector<double> saliency = {0.0, 0.0, 0.4, 0.0};
+  const auto fields = group_bytes_into_fields(saliency, 3, 2, true);
+  ASSERT_EQ(fields.size(), 1u);  // nothing else worth selecting
+  EXPECT_EQ(fields[0].offset, 2u);
+}
+
+TEST(GroupBytes, SortedBySaliencyDescending) {
+  const std::vector<double> saliency = {0.1, 0.0, 0.5, 0.0, 0.3};
+  const auto fields = group_bytes_into_fields(saliency, 3, 1, false);
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_GE(fields[0].saliency, fields[1].saliency);
+  EXPECT_GE(fields[1].saliency, fields[2].saliency);
+}
+
+TEST(GroupBytes, EmptyInput) {
+  EXPECT_TRUE(group_bytes_into_fields({}, 3, 2, true).empty());
+}
+
+}  // namespace
+}  // namespace p4iot::core

@@ -1,0 +1,155 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "trafficgen/datasets.h"
+
+namespace p4iot::core {
+namespace {
+
+gen::DatasetOptions small_options() {
+  gen::DatasetOptions options;
+  options.seed = 21;
+  options.duration_s = 30.0;
+  options.benign_devices = 6;
+  return options;
+}
+
+PipelineConfig fast_config(std::size_t k = 4) {
+  auto config = PipelineConfig::with_fields(k);
+  config.stage1.probe.epochs = 8;
+  config.stage1.autoencoder.epochs = 6;
+  return config;
+}
+
+TEST(Pipeline, EndToEndWifiDetection) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  common::Rng rng(1);
+  const auto [train, test] = trace.split(0.7, rng);
+
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(train);
+  ASSERT_TRUE(pipeline.trained());
+
+  const auto cm = evaluate_pipeline(pipeline, test);
+  EXPECT_GT(cm.accuracy(), 0.9);
+  EXPECT_GT(cm.recall(), 0.85);
+}
+
+TEST(Pipeline, SelectsAtMostKFields) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  for (const std::size_t k : {1u, 2u, 4u}) {
+    TwoStagePipeline pipeline(fast_config(k));
+    pipeline.fit(trace);
+    EXPECT_LE(pipeline.selection().fields.size(), k);
+    EXPECT_EQ(pipeline.rules().program.parser.fields.size(),
+              pipeline.selection().fields.size());
+  }
+}
+
+TEST(Pipeline, SwitchAgreesWithSoftwarePredict) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  common::Rng rng(2);
+  const auto [train, test] = trace.split(0.7, rng);
+
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(train);
+  auto sw = pipeline.make_switch();
+
+  for (const auto& p : test.packets()) {
+    const bool sw_drop = sw.process(p).action == p4::ActionOp::kDrop;
+    EXPECT_EQ(sw_drop, pipeline.predict(p) != 0);
+  }
+}
+
+TEST(Pipeline, TimingsPopulated) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(trace);
+  EXPECT_GT(pipeline.timings().stage1_seconds, 0.0);
+  EXPECT_GT(pipeline.timings().stage2_seconds, 0.0);
+  EXPECT_GE(pipeline.timings().total_seconds,
+            pipeline.timings().stage1_seconds + pipeline.timings().stage2_seconds);
+}
+
+TEST(Pipeline, GeneratedArtifactsNonEmpty) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kZigbee, small_options());
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(trace);
+  EXPECT_NE(pipeline.p4_source().find("parser"), std::string::npos);
+  EXPECT_NE(pipeline.runtime_commands().find("table_add"), std::string::npos);
+}
+
+TEST(Pipeline, WorksOnEveryProtocol) {
+  for (const auto id : gen::all_datasets()) {
+    const auto trace = gen::make_dataset(id, small_options());
+    common::Rng rng(3);
+    const auto [train, test] = trace.split(0.7, rng);
+    TwoStagePipeline pipeline(fast_config());
+    pipeline.fit(train);
+    const auto cm = evaluate_pipeline(pipeline, test);
+    EXPECT_GT(cm.accuracy(), 0.8) << gen::dataset_name(id);
+  }
+}
+
+TEST(Pipeline, ScoreCorrelatesWithLabels) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  common::Rng rng(4);
+  const auto [train, test] = trace.split(0.7, rng);
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(train);
+
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (const auto& p : test.packets()) {
+    scores.push_back(pipeline.score(p));
+    labels.push_back(p.label());
+  }
+  EXPECT_GT(common::roc_auc(scores, labels), 0.9);
+}
+
+TEST(Pipeline, UntrainedIsSafe) {
+  const TwoStagePipeline pipeline;
+  EXPECT_FALSE(pipeline.trained());
+  pkt::Packet p;
+  p.bytes = {1, 2, 3};
+  EXPECT_EQ(pipeline.predict(p), 0);
+  EXPECT_DOUBLE_EQ(pipeline.score(p), 0.0);
+}
+
+TEST(Pipeline, InstallFailsOnTinyTable) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  TwoStagePipeline pipeline(fast_config());
+  pipeline.fit(trace);
+  ASSERT_GT(pipeline.rules().entries.size(), 1u);
+  p4::P4Switch sw(pipeline.rules().program, /*table_capacity=*/1);
+  EXPECT_EQ(pipeline.install(sw), p4::TableWriteStatus::kTableFull);
+}
+
+TEST(Evaluation, BaselineSuiteComplete) {
+  const auto suite = make_baseline_suite();
+  ASSERT_EQ(suite.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& clf : suite) names.insert(clf->name());
+  EXPECT_EQ(names.size(), 8u);
+  EXPECT_TRUE(names.contains("decision-tree"));
+  EXPECT_TRUE(names.contains("fixed-5tuple"));
+  EXPECT_TRUE(names.contains("mlp"));
+}
+
+TEST(Evaluation, ClassifierEvaluationMatchesManual) {
+  const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
+  common::Rng rng(5);
+  const auto [train, test] = trace.split(0.7, rng);
+
+  ml::DecisionTree tree;
+  tree.fit(ml::bytes_dataset(train, 64));
+  const auto cm = evaluate_classifier(tree, test, 64);
+  EXPECT_EQ(cm.total(), test.size());
+  EXPECT_GT(cm.accuracy(), 0.9);  // tree on all bytes should do well
+  EXPECT_GT(classifier_auc(tree, test, 64), 0.9);
+}
+
+}  // namespace
+}  // namespace p4iot::core

@@ -1,0 +1,255 @@
+#include "core/rule_synthesis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "p4/table.h"
+
+namespace p4iot::core {
+namespace {
+
+// --- range_to_prefixes property tests (parameterized sweeps) ------------
+
+struct RangeCase {
+  std::uint64_t lo, hi;
+  std::size_t bits;
+};
+
+class RangeToPrefixes : public ::testing::TestWithParam<RangeCase> {};
+
+TEST_P(RangeToPrefixes, CoverageIsExact) {
+  const auto [lo, hi, bits] = GetParam();
+  const auto prefixes = range_to_prefixes(lo, hi, bits);
+  ASSERT_FALSE(prefixes.empty());
+
+  const std::uint64_t max_value = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+  // Exhaustive check for small fields, sampled check for large ones.
+  auto matches = [&](std::uint64_t v) {
+    for (const auto& [value, mask] : prefixes)
+      if ((v & mask) == value) return true;
+    return false;
+  };
+  if (bits <= 16) {
+    for (std::uint64_t v = 0; v <= max_value; ++v)
+      EXPECT_EQ(matches(v), v >= lo && v <= hi) << "value " << v;
+  } else {
+    common::Rng rng(99);
+    for (int i = 0; i < 2000; ++i) {
+      const std::uint64_t v = rng.next_below(max_value) + (rng.chance(0.5) ? 0 : lo);
+      const std::uint64_t clamped = std::min(v, max_value);
+      EXPECT_EQ(matches(clamped), clamped >= lo && clamped <= hi);
+    }
+    // Boundary values always checked.
+    for (const std::uint64_t v : {lo, hi, lo > 0 ? lo - 1 : max_value,
+                                  hi < max_value ? hi + 1 : std::uint64_t{0}})
+      EXPECT_EQ(matches(v), v >= lo && v <= hi) << "boundary " << v;
+  }
+}
+
+TEST_P(RangeToPrefixes, PrefixCountWithinTheoreticBound) {
+  const auto [lo, hi, bits] = GetParam();
+  // Classic bound: at most 2*bits - 2 prefixes for any range.
+  EXPECT_LE(range_to_prefixes(lo, hi, bits).size(), 2 * bits);
+}
+
+TEST_P(RangeToPrefixes, MasksAreValidPrefixShapes) {
+  const auto [lo, hi, bits] = GetParam();
+  for (const auto& [value, mask] : range_to_prefixes(lo, hi, bits)) {
+    EXPECT_EQ(value & ~mask, 0u);  // value confined to mask
+    // Mask is left-contiguous within the field width: ~mask+1 is a power of 2.
+    const std::uint64_t full = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+    const std::uint64_t inv = (~mask) & full;
+    EXPECT_EQ(inv & (inv + 1), 0u) << "mask " << std::hex << mask;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, RangeToPrefixes,
+    ::testing::Values(RangeCase{0, 0, 8}, RangeCase{255, 255, 8},
+                      RangeCase{0, 255, 8}, RangeCase{1, 254, 8},
+                      RangeCase{100, 100, 8}, RangeCase{3, 17, 8},
+                      RangeCase{128, 255, 8}, RangeCase{0, 127, 8},
+                      RangeCase{23, 23, 16}, RangeCase{1024, 65535, 16},
+                      RangeCase{0, 52428, 16}, RangeCase{12345, 54321, 16},
+                      RangeCase{1, 2, 16}, RangeCase{32768, 32768, 16},
+                      RangeCase{0, 0xffffffff, 32},
+                      RangeCase{0x0a000000, 0x0affffff, 32},
+                      RangeCase{7, 0xfffffff0, 32}));
+
+TEST(RangeToPrefixes, EmptyRange) {
+  EXPECT_TRUE(range_to_prefixes(10, 5, 8).empty());
+}
+
+TEST(RangeToPrefixes, FullRangeIsSingleWildcardish) {
+  const auto prefixes = range_to_prefixes(0, 255, 8);
+  ASSERT_EQ(prefixes.size(), 1u);
+  EXPECT_EQ(prefixes[0].first, 0u);
+  EXPECT_EQ(prefixes[0].second, 0u);  // mask 0 = match anything in-field
+}
+
+TEST(CoveringPrefix, ContainsRange) {
+  common::Rng rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const std::size_t bits = 16;
+    std::uint64_t lo = rng.next_below(1 << bits);
+    std::uint64_t hi = rng.next_below(1 << bits);
+    if (lo > hi) std::swap(lo, hi);
+    const auto [value, mask] = covering_prefix(lo, hi, bits);
+    EXPECT_EQ(lo & mask, value);
+    EXPECT_EQ(hi & mask, value);
+  }
+}
+
+TEST(CoveringPrefix, ExactForSingleValue) {
+  const auto [value, mask] = covering_prefix(0x1234, 0x1234, 16);
+  EXPECT_EQ(value, 0x1234u);
+  EXPECT_EQ(mask, 0xffffu);
+}
+
+// --- synthesize_rules integration-ish tests -----------------------------
+
+/// Trace where byte 0 == 0xF0 means attack.
+pkt::Trace single_byte_trace(int n) {
+  pkt::Trace trace;
+  for (int i = 0; i < n; ++i) {
+    pkt::Packet p;
+    p.bytes.assign(8, 0x11);
+    if (i % 2 == 0) {
+      p.bytes[0] = 0xf0;
+      p.attack = pkt::AttackType::kUdpFlood;
+    } else {
+      p.bytes[0] = 0x10;
+    }
+    trace.add(std::move(p));
+  }
+  return trace;
+}
+
+TEST(SynthesizeRules, SingleByteRuleDropsAttacks) {
+  const auto trace = single_byte_trace(200);
+  const std::vector<SelectedField> fields = {{0, 1, 1.0}};
+  const auto rules = synthesize_rules(trace, fields, 8, RuleSynthesisConfig{});
+
+  ASSERT_FALSE(rules.entries.empty());
+  ASSERT_EQ(rules.program.parser.fields.size(), 1u);
+  EXPECT_EQ(rules.program.keys[0].kind, p4::MatchKind::kTernary);
+
+  // All attack byte values (0xf0) must match a drop entry; benign (0x10)
+  // must not.
+  auto verdict = [&](std::uint8_t byte) {
+    for (const auto& e : rules.entries)
+      if ((byte & e.fields[0].mask) == e.fields[0].value) return e.action;
+    return rules.program.default_action;
+  };
+  EXPECT_EQ(verdict(0xf0), p4::ActionOp::kDrop);
+  EXPECT_EQ(verdict(0x10), p4::ActionOp::kPermit);
+}
+
+TEST(SynthesizeRules, PathsCarryProbabilities) {
+  const auto trace = single_byte_trace(200);
+  const auto rules =
+      synthesize_rules(trace, {{0, 1, 1.0}}, 8, RuleSynthesisConfig{});
+  ASSERT_FALSE(rules.paths.empty());
+  for (const auto& path : rules.paths) {
+    EXPECT_GE(path.attack_probability, 0.5);
+    EXPECT_GT(path.training_samples, 0u);
+    ASSERT_EQ(path.lo.size(), 1u);
+    EXPECT_LE(path.lo[0], path.hi[0]);
+  }
+}
+
+TEST(SynthesizeRules, BudgetRespected) {
+  // Attack values scattered over many disjoint ranges → many entries needed.
+  common::Rng rng(5);
+  pkt::Trace trace;
+  for (int i = 0; i < 2000; ++i) {
+    pkt::Packet p;
+    p.bytes.assign(4, 0);
+    const auto v = static_cast<std::uint8_t>(rng.next_below(256));
+    p.bytes[0] = v;
+    p.bytes[1] = static_cast<std::uint8_t>(rng.next_below(256));
+    if ((v / 16) % 2 == 0) p.attack = pkt::AttackType::kPortScan;  // striped
+    trace.add(std::move(p));
+  }
+  RuleSynthesisConfig config;
+  config.max_entries = 4;
+  const auto rules = synthesize_rules(trace, {{0, 1, 1.0}, {1, 1, 0.5}}, 4, config);
+  EXPECT_LE(rules.entries.size(), 4u);
+  EXPECT_GE(rules.entries_before_budget, rules.entries.size());
+}
+
+TEST(SynthesizeRules, FailClosedSetsDefaultDrop) {
+  RuleSynthesisConfig config;
+  config.fail_closed = true;
+  const auto rules = synthesize_rules(single_byte_trace(100), {{0, 1, 1.0}}, 8, config);
+  EXPECT_EQ(rules.program.default_action, p4::ActionOp::kDrop);
+}
+
+TEST(SynthesizeRules, WidenedStrategyNeverMoreEntries) {
+  const auto trace = single_byte_trace(400);
+  RuleSynthesisConfig exact;
+  RuleSynthesisConfig widened;
+  widened.expansion = ExpansionStrategy::kWidenedPrefix;
+  const auto fields = std::vector<SelectedField>{{0, 1, 1.0}};
+  const auto exact_rules = synthesize_rules(trace, fields, 8, exact);
+  const auto widened_rules = synthesize_rules(trace, fields, 8, widened);
+  EXPECT_LE(widened_rules.entries_before_budget, exact_rules.entries_before_budget);
+}
+
+TEST(SynthesizeRules, TcamBitsAccounting) {
+  const auto rules =
+      synthesize_rules(single_byte_trace(100), {{0, 1, 1.0}}, 8, RuleSynthesisConfig{});
+  EXPECT_EQ(rules.tcam_bits, rules.entries.size() * 2 * 8);
+}
+
+TEST(SynthesizeRules, EmptyInputsAreSafe) {
+  const auto no_trace =
+      synthesize_rules(pkt::Trace{}, {{0, 1, 1.0}}, 8, RuleSynthesisConfig{});
+  EXPECT_TRUE(no_trace.entries.empty());
+  const auto no_fields =
+      synthesize_rules(single_byte_trace(10), {}, 8, RuleSynthesisConfig{});
+  EXPECT_TRUE(no_fields.entries.empty());
+}
+
+TEST(SynthesizeRules, PureBenignTraceYieldsNoRules) {
+  pkt::Trace trace;
+  for (int i = 0; i < 50; ++i) {
+    pkt::Packet p;
+    p.bytes.assign(4, static_cast<std::uint8_t>(i));
+    trace.add(std::move(p));
+  }
+  const auto rules = synthesize_rules(trace, {{0, 1, 1.0}}, 4, RuleSynthesisConfig{});
+  EXPECT_TRUE(rules.entries.empty());
+  EXPECT_TRUE(rules.paths.empty());
+}
+
+TEST(FieldValueDataset, ExtractsMultiByteValues) {
+  pkt::Trace trace;
+  pkt::Packet p;
+  p.bytes = {0x12, 0x34, 0x56};
+  p.attack = pkt::AttackType::kSynFlood;
+  trace.add(p);
+  const auto data =
+      field_value_dataset(trace, {{0, 2, 1.0}, {2, 1, 0.5}, {5, 2, 0.1}}, 8);
+  ASSERT_EQ(data.size(), 1u);
+  EXPECT_DOUBLE_EQ(data.features[0][0], double(0x1234));
+  EXPECT_DOUBLE_EQ(data.features[0][1], double(0x56));
+  EXPECT_DOUBLE_EQ(data.features[0][2], 0.0);  // padded region
+  EXPECT_EQ(data.labels[0], 1);
+}
+
+TEST(SynthesizeRules, EntriesValidAgainstTable) {
+  // Every synthesized entry must be accepted by the table validator.
+  const auto trace = single_byte_trace(300);
+  const auto rules =
+      synthesize_rules(trace, {{0, 1, 1.0}, {2, 2, 0.3}}, 8, RuleSynthesisConfig{});
+  p4::MatchActionTable table("t", rules.program.keys, 1024,
+                             rules.program.default_action);
+  for (const auto& e : rules.entries)
+    EXPECT_EQ(table.add_entry(e), p4::TableWriteStatus::kOk);
+}
+
+}  // namespace
+}  // namespace p4iot::core

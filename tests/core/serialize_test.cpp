@@ -1,0 +1,134 @@
+#include "core/serialize.h"
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/evaluation.h"
+#include "trafficgen/datasets.h"
+
+namespace p4iot::core {
+namespace {
+
+TwoStagePipeline trained_pipeline(const pkt::Trace& train) {
+  auto config = PipelineConfig::with_fields(4);
+  config.stage1.probe.epochs = 8;
+  config.stage1.autoencoder.epochs = 6;
+  TwoStagePipeline pipeline(config);
+  pipeline.fit(train);
+  return pipeline;
+}
+
+pkt::Trace small_trace() {
+  gen::DatasetOptions options;
+  options.seed = 31;
+  options.duration_s = 30.0;
+  options.benign_devices = 6;
+  return gen::make_dataset(gen::DatasetId::kWifiIp, options);
+}
+
+TEST(Serialize, RoundTripPredictionsIdentical) {
+  const auto trace = small_trace();
+  common::Rng rng(1);
+  const auto [train, test] = trace.split(0.7, rng);
+  const auto pipeline = trained_pipeline(train);
+
+  const std::string path = ::testing::TempDir() + "/p4iot_model.bin";
+  ASSERT_TRUE(save_pipeline(pipeline, path));
+  const auto loaded = load_pipeline(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_TRUE(loaded->trained());
+
+  for (const auto& p : test.packets()) {
+    EXPECT_EQ(loaded->predict(p), pipeline.predict(p));
+    EXPECT_DOUBLE_EQ(loaded->score(p), pipeline.score(p));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripPreservesStructure) {
+  const auto pipeline = trained_pipeline(small_trace());
+  const std::string path = ::testing::TempDir() + "/p4iot_model2.bin";
+  ASSERT_TRUE(save_pipeline(pipeline, path));
+  const auto loaded = load_pipeline(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  EXPECT_EQ(loaded->selection().fields.size(), pipeline.selection().fields.size());
+  for (std::size_t i = 0; i < pipeline.selection().fields.size(); ++i)
+    EXPECT_EQ(loaded->selection().fields[i], pipeline.selection().fields[i]);
+
+  EXPECT_EQ(loaded->rules().entries.size(), pipeline.rules().entries.size());
+  EXPECT_EQ(loaded->rules().tcam_bits, pipeline.rules().tcam_bits);
+  EXPECT_EQ(loaded->rules().program.default_action,
+            pipeline.rules().program.default_action);
+  EXPECT_EQ(loaded->rules().tree.nodes().size(), pipeline.rules().tree.nodes().size());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, RoundTripP4SourceIdentical) {
+  const auto pipeline = trained_pipeline(small_trace());
+  const std::string path = ::testing::TempDir() + "/p4iot_model3.bin";
+  ASSERT_TRUE(save_pipeline(pipeline, path));
+  const auto loaded = load_pipeline(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->p4_source(), pipeline.p4_source());
+  EXPECT_EQ(loaded->runtime_commands(), pipeline.runtime_commands());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, LoadedPipelineInstallsOnSwitch) {
+  const auto trace = small_trace();
+  common::Rng rng(2);
+  const auto [train, test] = trace.split(0.7, rng);
+  const auto pipeline = trained_pipeline(train);
+
+  const std::string path = ::testing::TempDir() + "/p4iot_model4.bin";
+  ASSERT_TRUE(save_pipeline(pipeline, path));
+  const auto loaded = load_pipeline(path);
+  ASSERT_TRUE(loaded.has_value());
+
+  auto original_switch = pipeline.make_switch();
+  auto loaded_switch = loaded->make_switch();
+  const auto cm_a = evaluate_switch(original_switch, test);
+  const auto cm_b = evaluate_switch(loaded_switch, test);
+  EXPECT_EQ(cm_a.tp, cm_b.tp);
+  EXPECT_EQ(cm_a.fp, cm_b.fp);
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, UntrainedPipelineRefusesToSave) {
+  const TwoStagePipeline pipeline;
+  EXPECT_FALSE(save_pipeline(pipeline, ::testing::TempDir() + "/p4iot_untrained.bin"));
+}
+
+TEST(Serialize, MissingFileFailsToLoad) {
+  EXPECT_FALSE(load_pipeline("/nonexistent/model.bin").has_value());
+}
+
+TEST(Serialize, CorruptFileFailsToLoad) {
+  const std::string path = ::testing::TempDir() + "/p4iot_corrupt_model.bin";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("GARBAGEGARBAGEGARBAGE", 1, 21, f);
+  std::fclose(f);
+  EXPECT_FALSE(load_pipeline(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Serialize, TruncatedFileFailsToLoad) {
+  const auto pipeline = trained_pipeline(small_trace());
+  const std::string path = ::testing::TempDir() + "/p4iot_trunc_model.bin";
+  ASSERT_TRUE(save_pipeline(pipeline, path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(load_pipeline(path).has_value());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace p4iot::core

@@ -1,0 +1,91 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "packet/ethernet.h"
+
+namespace p4iot::ml {
+namespace {
+
+Dataset tiny_dataset() {
+  Dataset d;
+  d.add({1.0, 2.0, 3.0}, 0);
+  d.add({4.0, 5.0, 6.0}, 1);
+  d.add({7.0, 8.0, 9.0}, 1);
+  return d;
+}
+
+TEST(Dataset, BasicAccessors) {
+  const auto d = tiny_dataset();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.dim(), 3u);
+  EXPECT_FALSE(d.empty());
+  EXPECT_EQ(d.count_label(0), 1u);
+  EXPECT_EQ(d.count_label(1), 2u);
+  EXPECT_EQ(Dataset{}.dim(), 0u);
+}
+
+TEST(Dataset, SplitPartitionsAll) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, i % 2);
+  common::Rng rng(1);
+  const auto [train, test] = d.split(0.8, rng);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_EQ(train.count_label(1) + test.count_label(1), 50u);
+}
+
+TEST(Dataset, SubsampleCapsSize) {
+  Dataset d;
+  for (int i = 0; i < 100; ++i) d.add({static_cast<double>(i)}, 0);
+  common::Rng rng(2);
+  EXPECT_EQ(d.subsample(10, rng).size(), 10u);
+  EXPECT_EQ(d.subsample(1000, rng).size(), 100u);
+}
+
+TEST(Dataset, ProjectSelectsColumns) {
+  const auto d = tiny_dataset();
+  const std::vector<std::size_t> cols = {2, 0};
+  const auto p = project(d, cols);
+  EXPECT_EQ(p.dim(), 2u);
+  EXPECT_DOUBLE_EQ(p.features[0][0], 3.0);
+  EXPECT_DOUBLE_EQ(p.features[0][1], 1.0);
+  EXPECT_EQ(p.labels, d.labels);
+}
+
+TEST(Dataset, ProjectOutOfRangeColumnIsZero) {
+  const auto d = tiny_dataset();
+  const std::vector<std::size_t> cols = {99};
+  const auto p = project(d, cols);
+  EXPECT_DOUBLE_EQ(p.features[0][0], 0.0);
+}
+
+TEST(Dataset, BytesDatasetFromTrace) {
+  pkt::Trace trace;
+  pkt::Packet p;
+  p.bytes = {0x10, 0x20, 0xff};
+  p.attack = pkt::AttackType::kSynFlood;
+  trace.add(p);
+
+  const auto d = bytes_dataset(trace, 5);
+  ASSERT_EQ(d.size(), 1u);
+  ASSERT_EQ(d.dim(), 5u);
+  EXPECT_DOUBLE_EQ(d.features[0][0], 16.0);
+  EXPECT_DOUBLE_EQ(d.features[0][2], 255.0);
+  EXPECT_DOUBLE_EQ(d.features[0][3], 0.0);  // zero padding
+  EXPECT_EQ(d.labels[0], 1);
+}
+
+TEST(Dataset, NormalizedDatasetScales) {
+  pkt::Trace trace;
+  pkt::Packet p;
+  p.bytes = {0xff, 0x00};
+  trace.add(p);
+  const auto d = normalized_dataset(trace, 2);
+  EXPECT_DOUBLE_EQ(d.features[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(d.features[0][1], 0.0);
+  EXPECT_EQ(d.labels[0], 0);
+}
+
+}  // namespace
+}  // namespace p4iot::ml

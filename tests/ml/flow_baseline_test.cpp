@@ -1,0 +1,73 @@
+#include "ml/flow_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "trafficgen/wifi_gen.h"
+
+namespace p4iot::ml {
+namespace {
+
+pkt::Trace flood_trace(std::uint64_t seed) {
+  auto config = gen::ScenarioConfig::with_default_attacks(
+      seed, 60.0, {pkt::AttackType::kSynFlood, pkt::AttackType::kUdpFlood}, 40.0);
+  config.benign_devices = 8;
+  return gen::generate_wifi_trace(config);
+}
+
+TEST(FlowBaseline, DetectsFloodsFromFlowShape) {
+  FlowBaseline baseline;
+  baseline.fit(flood_trace(1));
+  ASSERT_TRUE(baseline.trained());
+
+  const auto cm = evaluate_flow_baseline(baseline, flood_trace(2));
+  // Floods have a distinctive endpoint rate signature, but the baseline
+  // pays for its window lag and whole-source granularity (the compromised
+  // device's benign traffic shares its verdict) — clearly better than
+  // majority-class, clearly below the per-packet pipeline.
+  EXPECT_GT(cm.accuracy(), 0.7);
+  EXPECT_GT(cm.recall(), 0.6);
+}
+
+TEST(FlowBaseline, FeaturesFiniteAndStable) {
+  pkt::FlowStats stats;
+  stats.packets = 100;
+  stats.bytes = 50000;
+  stats.first_seen_s = 1.0;
+  stats.last_seen_s = 11.0;
+  stats.mean_packet_size = 500;
+  stats.mean_interarrival_s = 0.1;
+  const auto features = FlowBaseline::flow_features(stats);
+  ASSERT_EQ(features.size(), 6u);
+  for (const double v : features) EXPECT_TRUE(std::isfinite(v));
+
+  // Zero-duration flow must not divide by zero.
+  pkt::FlowStats fresh;
+  fresh.packets = 1;
+  for (const double v : FlowBaseline::flow_features(fresh))
+    EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(FlowBaseline, YoungFlowsDefaultPermit) {
+  FlowBaselineConfig config;
+  config.min_packets = 5;
+  FlowBaseline baseline(config);
+  baseline.fit(flood_trace(3));
+
+  pkt::FlowStats young;
+  young.packets = 2;  // below min_packets
+  young.attack_packets = 2;
+  EXPECT_EQ(baseline.predict(young), 0);
+  EXPECT_DOUBLE_EQ(baseline.score(young), 0.0);
+}
+
+TEST(FlowBaseline, UntrainedIsSafe) {
+  const FlowBaseline baseline;
+  pkt::FlowStats stats;
+  stats.packets = 100;
+  EXPECT_EQ(baseline.predict(stats), 0);
+  const auto cm = evaluate_flow_baseline(baseline, flood_trace(4));
+  EXPECT_EQ(cm.tp + cm.fp, 0u);  // nothing ever flagged
+}
+
+}  // namespace
+}  // namespace p4iot::ml

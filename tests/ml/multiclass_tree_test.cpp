@@ -1,0 +1,121 @@
+#include "ml/multiclass_tree.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace p4iot::ml {
+namespace {
+
+/// Three well-separated clusters on a line: class = floor(x / 10).
+void make_bands(std::vector<std::vector<double>>& x, std::vector<int>& y, int n,
+                std::uint64_t seed) {
+  common::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int cls = i % 3;
+    x.push_back({cls * 10.0 + rng.uniform(0, 8), rng.uniform(0, 1)});
+    y.push_back(cls);
+  }
+}
+
+TEST(MulticlassTree, LearnsThreeBands) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_bands(x, y, 600, 1);
+  MulticlassDecisionTree tree;
+  tree.fit(x, y, 3);
+  ASSERT_TRUE(tree.trained());
+  EXPECT_EQ(tree.num_classes(), 3);
+
+  std::vector<std::vector<double>> xt;
+  std::vector<int> yt;
+  make_bands(xt, yt, 300, 2);
+  int correct = 0;
+  for (std::size_t i = 0; i < xt.size(); ++i)
+    correct += tree.predict(xt[i]) == yt[i] ? 1 : 0;
+  EXPECT_GT(correct, 295);
+}
+
+TEST(MulticlassTree, ClassProbabilitiesSumToOneAtLeaf) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_bands(x, y, 300, 3);
+  MulticlassDecisionTree tree;
+  tree.fit(x, y, 3);
+  double sum = 0.0;
+  for (int c = 0; c < 3; ++c) sum += tree.class_probability(x[0], c);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(tree.class_probability(x[0], 99), 0.0);
+}
+
+TEST(MulticlassTree, NodeInvariants) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_bands(x, y, 400, 4);
+  MulticlassDecisionTree tree;
+  tree.fit(x, y, 3);
+  const auto& nodes = tree.nodes();
+  EXPECT_EQ(nodes[0].samples, x.size());
+  for (const auto& node : nodes) {
+    std::size_t total = 0;
+    for (const auto c : node.class_counts) total += c;
+    EXPECT_EQ(total, node.samples);
+    EXPECT_GE(node.majority_fraction(), 1.0 / 3.0 - 1e-12);
+    if (!node.is_leaf()) {
+      EXPECT_GE(node.left, 0);
+      EXPECT_GE(node.right, 0);
+    }
+  }
+}
+
+TEST(MulticlassTree, BinaryCaseMatchesIntuition) {
+  // With 2 classes it must behave like the binary tree on a threshold task.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  common::Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    const double v = rng.uniform(0, 100);
+    x.push_back({v});
+    y.push_back(v > 50 ? 1 : 0);
+  }
+  MulticlassDecisionTree tree;
+  tree.fit(x, y, 2);
+  EXPECT_EQ(tree.predict(std::vector<double>{10.0}), 0);
+  EXPECT_EQ(tree.predict(std::vector<double>{90.0}), 1);
+  EXPECT_EQ(tree.leaf_count(), 2u);
+}
+
+TEST(MulticlassTree, PureDataSingleLeaf) {
+  std::vector<std::vector<double>> x(50, std::vector<double>{1.0});
+  std::vector<int> y(50, 2);
+  MulticlassDecisionTree tree;
+  tree.fit(x, y, 4);
+  EXPECT_EQ(tree.nodes().size(), 1u);
+  EXPECT_EQ(tree.predict(x[0]), 2);
+}
+
+TEST(MulticlassTree, EmptyFitIsSafe) {
+  MulticlassDecisionTree tree;
+  tree.fit({}, {}, 3);
+  EXPECT_FALSE(tree.trained());
+  EXPECT_EQ(tree.predict(std::vector<double>{1.0}), 0);
+  EXPECT_EQ(tree.leaf_index(std::vector<double>{1.0}), -1);
+}
+
+TEST(MulticlassTree, RespectsDepthCap) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  common::Rng rng(6);
+  for (int i = 0; i < 500; ++i) {
+    x.push_back({rng.uniform(0, 1), rng.uniform(0, 1)});
+    y.push_back(static_cast<int>(rng.next_below(4)));  // unlearnable noise
+  }
+  MulticlassTreeConfig config;
+  config.max_depth = 3;
+  MulticlassDecisionTree tree(config);
+  tree.fit(x, y, 4);
+  EXPECT_LE(tree.leaf_count(), 8u);  // 2^3
+}
+
+}  // namespace
+}  // namespace p4iot::ml

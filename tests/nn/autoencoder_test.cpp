@@ -1,0 +1,124 @@
+#include "nn/autoencoder.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace p4iot::nn {
+namespace {
+
+/// Samples living on a 1-D manifold inside 6-D space: dims 0-2 vary
+/// together, dims 3-5 are constant.
+std::vector<std::vector<double>> manifold_samples(int n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<std::vector<double>> out;
+  for (int i = 0; i < n; ++i) {
+    const double t = rng.uniform();
+    out.push_back({t, 1.0 - t, t * 0.5, 0.3, 0.3, 0.3});
+  }
+  return out;
+}
+
+AutoencoderConfig small_config() {
+  AutoencoderConfig config;
+  config.encoder_sizes = {4, 2};
+  config.epochs = 40;
+  config.seed = 11;
+  return config;
+}
+
+TEST(Autoencoder, ReconstructsTrainingManifold) {
+  const auto samples = manifold_samples(400, 1);
+  Autoencoder ae;
+  ae.fit(samples, small_config());
+  ASSERT_TRUE(ae.trained());
+
+  double total_err = 0.0;
+  for (const auto& s : samples) total_err += ae.reconstruction_error(s);
+  // Mean per-dimension squared error well below the data variance (~0.08
+  // for uniform t on the varying dims).
+  EXPECT_LT(total_err / static_cast<double>(samples.size()), 0.04);
+}
+
+TEST(Autoencoder, AnomaliesHaveHigherError) {
+  const auto samples = manifold_samples(400, 2);
+  Autoencoder ae;
+  ae.fit(samples, small_config());
+
+  double normal_err = 0.0;
+  for (int i = 0; i < 50; ++i) normal_err += ae.reconstruction_error(samples[i]);
+  normal_err /= 50;
+
+  // Off-manifold points: the constant dims flipped.
+  common::Rng rng(3);
+  double anomaly_err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double t = rng.uniform();
+    const std::vector<double> anomaly = {t, t, 1.0 - t, 0.9, 0.0, 0.9};
+    anomaly_err += ae.reconstruction_error(anomaly);
+  }
+  anomaly_err /= 50;
+  EXPECT_GT(anomaly_err, normal_err * 3);
+}
+
+TEST(Autoencoder, EncodeProducesBottleneckDim) {
+  const auto samples = manifold_samples(100, 4);
+  Autoencoder ae;
+  ae.fit(samples, small_config());
+  EXPECT_EQ(ae.bottleneck_dim(), 2u);
+  EXPECT_EQ(ae.encode(samples[0]).size(), 2u);
+  EXPECT_EQ(ae.input_dim(), 6u);
+  EXPECT_EQ(ae.reconstruct(samples[0]).size(), 6u);
+}
+
+TEST(Autoencoder, ImportanceFavoursVaryingDims) {
+  const auto samples = manifold_samples(500, 5);
+  Autoencoder ae;
+  ae.fit(samples, small_config());
+  const auto importance = ae.input_importance();
+  ASSERT_EQ(importance.size(), 6u);
+  double sum = 0.0;
+  for (const double v : importance) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  // Varying dims (0..2) should together dominate constant dims (3..5).
+  const double varying = importance[0] + importance[1] + importance[2];
+  EXPECT_GT(varying, 0.5);
+}
+
+TEST(Autoencoder, DeterministicForSeed) {
+  const auto samples = manifold_samples(200, 6);
+  Autoencoder a, b;
+  a.fit(samples, small_config());
+  b.fit(samples, small_config());
+  EXPECT_DOUBLE_EQ(a.reconstruction_error(samples[0]),
+                   b.reconstruction_error(samples[0]));
+}
+
+TEST(Autoencoder, UntrainedIsSafe) {
+  const Autoencoder ae;
+  EXPECT_FALSE(ae.trained());
+  EXPECT_TRUE(ae.reconstruct(std::vector<double>{1.0}).empty());
+  EXPECT_DOUBLE_EQ(ae.reconstruction_error(std::vector<double>{1.0}), 0.0);
+  EXPECT_TRUE(ae.input_importance().empty());
+}
+
+TEST(Autoencoder, EmptyFitIsNoop) {
+  Autoencoder ae;
+  ae.fit({}, small_config());
+  EXPECT_FALSE(ae.trained());
+}
+
+TEST(Autoencoder, SingleLayerEncoder) {
+  AutoencoderConfig config;
+  config.encoder_sizes = {3};
+  config.epochs = 20;
+  const auto samples = manifold_samples(200, 7);
+  Autoencoder ae;
+  ae.fit(samples, config);
+  ASSERT_TRUE(ae.trained());
+  EXPECT_EQ(ae.bottleneck_dim(), 3u);
+  EXPECT_LT(ae.reconstruction_error(samples[0]), 0.05);
+}
+
+}  // namespace
+}  // namespace p4iot::nn

@@ -1,0 +1,99 @@
+#include "nn/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace p4iot::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), 7.0);
+}
+
+TEST(Matrix, FromRowAndRows) {
+  const std::vector<double> row = {1, 2, 3};
+  const Matrix m = Matrix::from_row(row);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 2), 3.0);
+
+  const Matrix m2 = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m2(1, 0), 3.0);
+  EXPECT_TRUE(Matrix::from_rows({}).empty());
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatmulNonSquare) {
+  const Matrix a = Matrix::from_rows({{1, 0, 2}});        // 1x3
+  const Matrix b = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  const Matrix c = a.matmul(b);
+  EXPECT_EQ(c.rows(), 1u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_DOUBLE_EQ(c(0, 0), 11.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 14.0);
+}
+
+TEST(Matrix, MatmulTransposedEqualsExplicitTranspose) {
+  const Matrix a = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});   // 2x3
+  const Matrix b = Matrix::from_rows({{1, 0, 1}, {2, 1, 0}});   // 2x3
+  const Matrix direct = a.matmul_transposed(b);                 // a × bᵀ, 2x2
+  const Matrix via_transpose = a.matmul(b.transposed());
+  ASSERT_EQ(direct.rows(), via_transpose.rows());
+  ASSERT_EQ(direct.cols(), via_transpose.cols());
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      EXPECT_DOUBLE_EQ(direct(i, j), via_transpose(i, j));
+}
+
+TEST(Matrix, TransposedMatmulEqualsExplicitTranspose) {
+  const Matrix a = Matrix::from_rows({{1, 2}, {3, 4}, {5, 6}});  // 3x2
+  const Matrix b = Matrix::from_rows({{1, 0, 2}, {0, 1, 1}, {2, 2, 0}});  // 3x3
+  const Matrix direct = a.transposed_matmul(b);                  // aᵀ × b, 2x3
+  const Matrix via_transpose = a.transposed().matmul(b);
+  for (std::size_t i = 0; i < direct.rows(); ++i)
+    for (std::size_t j = 0; j < direct.cols(); ++j)
+      EXPECT_DOUBLE_EQ(direct(i, j), via_transpose(i, j));
+}
+
+TEST(Matrix, TransposedShape) {
+  const Matrix m = Matrix::from_rows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, AddScaleZero) {
+  Matrix m = Matrix::from_rows({{1, 2}});
+  const Matrix n = Matrix::from_rows({{3, 4}});
+  m.add_in_place(n);
+  EXPECT_DOUBLE_EQ(m(0, 0), 4.0);
+  m.scale_in_place(0.5);
+  EXPECT_DOUBLE_EQ(m(0, 1), 3.0);
+  m.zero();
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, RowSpanMutates) {
+  Matrix m(2, 2);
+  auto row = m.row(1);
+  row[0] = 9.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 9.0);
+}
+
+}  // namespace
+}  // namespace p4iot::nn

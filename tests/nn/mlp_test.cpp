@@ -1,0 +1,175 @@
+#include "nn/mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace p4iot::nn {
+namespace {
+
+/// Two Gaussian blobs, linearly separable.
+void make_blobs(std::vector<std::vector<double>>& x, std::vector<int>& y, int n,
+                std::uint64_t seed) {
+  common::Rng rng(seed);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    const double cx = label ? 0.8 : 0.2;
+    x.push_back({rng.normal(cx, 0.08), rng.normal(cx, 0.08)});
+    y.push_back(label);
+  }
+}
+
+TEST(SoftmaxRows, NormalizesAndOrders) {
+  Matrix logits = Matrix::from_rows({{1.0, 3.0}, {-2.0, -2.0}});
+  softmax_rows(logits);
+  EXPECT_NEAR(logits(0, 0) + logits(0, 1), 1.0, 1e-12);
+  EXPECT_GT(logits(0, 1), logits(0, 0));
+  EXPECT_NEAR(logits(1, 0), 0.5, 1e-12);
+}
+
+TEST(SoftmaxRows, NumericallyStableForLargeLogits) {
+  Matrix logits = Matrix::from_rows({{1000.0, 1001.0}});
+  softmax_rows(logits);
+  EXPECT_TRUE(std::isfinite(logits(0, 0)));
+  EXPECT_NEAR(logits(0, 0) + logits(0, 1), 1.0, 1e-12);
+}
+
+TEST(CrossEntropy, KnownValue) {
+  const Matrix probs = Matrix::from_rows({{0.25, 0.75}});
+  const std::vector<int> labels = {1};
+  EXPECT_NEAR(cross_entropy(probs, labels), -std::log(0.75), 1e-12);
+}
+
+TEST(CrossEntropy, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(cross_entropy(Matrix{}, std::vector<int>{}), 0.0);
+}
+
+TEST(Mlp, LearnsLinearlySeparableBlobs) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 400, 1);
+
+  MlpConfig config;
+  config.hidden_sizes = {8};
+  config.epochs = 30;
+  config.seed = 2;
+  Mlp mlp;
+  mlp.fit(x, y, config);
+
+  std::vector<std::vector<double>> xt;
+  std::vector<int> yt;
+  make_blobs(xt, yt, 200, 99);
+  int correct = 0;
+  for (std::size_t i = 0; i < xt.size(); ++i)
+    correct += mlp.predict(xt[i]) == yt[i] ? 1 : 0;
+  EXPECT_GT(correct, 190);
+}
+
+TEST(Mlp, LearnsXor) {
+  // XOR requires a hidden layer — classic non-linear sanity check.
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  common::Rng rng(3);
+  for (int i = 0; i < 800; ++i) {
+    const int a = static_cast<int>(rng.next_below(2));
+    const int b = static_cast<int>(rng.next_below(2));
+    x.push_back({a + rng.normal(0, 0.05), b + rng.normal(0, 0.05)});
+    y.push_back(a ^ b);
+  }
+  MlpConfig config;
+  config.hidden_sizes = {16};
+  config.epochs = 60;
+  config.adam.learning_rate = 5e-3;
+  config.seed = 4;
+  Mlp mlp;
+  mlp.fit(x, y, config);
+  int correct = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) correct += mlp.predict(x[i]) == y[i] ? 1 : 0;
+  EXPECT_GT(correct, 760);
+}
+
+TEST(Mlp, PredictProbaSumsToOne) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 100, 5);
+  Mlp mlp;
+  MlpConfig config;
+  config.epochs = 5;
+  mlp.fit(x, y, config);
+  const auto probs = mlp.predict_proba(x[0]);
+  ASSERT_EQ(probs.size(), 2u);
+  EXPECT_NEAR(probs[0] + probs[1], 1.0, 1e-9);
+  EXPECT_NEAR(mlp.attack_score(x[0]), probs[1], 1e-12);
+}
+
+TEST(Mlp, DeterministicForSeed) {
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  make_blobs(x, y, 200, 6);
+  MlpConfig config;
+  config.epochs = 5;
+  config.seed = 7;
+  Mlp a, b;
+  a.fit(x, y, config);
+  b.fit(x, y, config);
+  for (int i = 0; i < 20; ++i) {
+    const auto pa = a.predict_proba(x[static_cast<std::size_t>(i)]);
+    const auto pb = b.predict_proba(x[static_cast<std::size_t>(i)]);
+    EXPECT_DOUBLE_EQ(pa[1], pb[1]);
+  }
+}
+
+TEST(Mlp, SaliencyHighlightsInformativeFeature) {
+  // Feature 0 decides the label; features 1,2 are noise.
+  common::Rng rng(8);
+  std::vector<std::vector<double>> x;
+  std::vector<int> y;
+  for (int i = 0; i < 600; ++i) {
+    const int label = i % 2;
+    x.push_back({label ? 0.9 : 0.1, rng.uniform(), rng.uniform()});
+    y.push_back(label);
+  }
+  Mlp mlp;
+  MlpConfig config;
+  config.hidden_sizes = {12};
+  config.epochs = 25;
+  config.seed = 9;
+  mlp.fit(x, y, config);
+
+  const auto saliency = mlp.input_gradient_saliency(x, y);
+  ASSERT_EQ(saliency.size(), 3u);
+  EXPECT_GT(saliency[0], saliency[1] * 3);
+  EXPECT_GT(saliency[0], saliency[2] * 3);
+}
+
+TEST(Mlp, UntrainedIsSafe) {
+  const Mlp mlp;
+  EXPECT_FALSE(mlp.trained());
+  EXPECT_TRUE(mlp.predict_proba(std::vector<double>{1.0}).empty());
+  EXPECT_EQ(mlp.predict(std::vector<double>{1.0}), 0);
+  EXPECT_EQ(mlp.parameter_count(), 0u);
+}
+
+TEST(Mlp, ParameterCountMatchesArchitecture) {
+  std::vector<std::vector<double>> x = {{0, 0}, {1, 1}};
+  std::vector<int> y = {0, 1};
+  MlpConfig config;
+  config.hidden_sizes = {4};
+  config.epochs = 1;
+  Mlp mlp;
+  mlp.fit(x, y, config);
+  // (2*4 + 4) + (4*2 + 2) = 12 + 10 = 22.
+  EXPECT_EQ(mlp.parameter_count(), 22u);
+  EXPECT_EQ(mlp.input_dim(), 2u);
+}
+
+TEST(Mlp, EmptyTrainingIsNoop) {
+  Mlp mlp;
+  mlp.fit({}, {}, MlpConfig{});
+  EXPECT_FALSE(mlp.trained());
+}
+
+}  // namespace
+}  // namespace p4iot::nn

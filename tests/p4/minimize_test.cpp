@@ -1,0 +1,141 @@
+#include "p4/minimize.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace p4iot::p4 {
+namespace {
+
+TableEntry entry1(std::uint64_t value, std::uint64_t mask, std::int32_t priority = 100,
+                  ActionOp action = ActionOp::kDrop, std::uint8_t cls = 0) {
+  TableEntry e;
+  e.fields = {MatchField{value, mask, 0, 0}};
+  e.priority = priority;
+  e.action = action;
+  e.attack_class = cls;
+  return e;
+}
+
+TEST(Minimize, JoinsAdjacentPrefixes) {
+  // 0b1010 and 0b1011 under full mask → 0b101x.
+  const auto result = minimize_entries({entry1(0x0a, 0xff), entry1(0x0b, 0xff)});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].fields[0].value, 0x0au);
+  EXPECT_EQ(result.entries[0].fields[0].mask, 0xfeu);
+  EXPECT_EQ(result.merges, 1u);
+}
+
+TEST(Minimize, CascadesToLargerBlocks) {
+  // Four consecutive values collapse to one entry over two passes.
+  const auto result = minimize_entries({entry1(0x10, 0xff), entry1(0x11, 0xff),
+                                        entry1(0x12, 0xff), entry1(0x13, 0xff)});
+  ASSERT_EQ(result.entries.size(), 1u);
+  EXPECT_EQ(result.entries[0].fields[0].value, 0x10u);
+  EXPECT_EQ(result.entries[0].fields[0].mask, 0xfcu);
+}
+
+TEST(Minimize, DeduplicatesIdenticalEntries) {
+  const auto result = minimize_entries({entry1(0x42, 0xff), entry1(0x42, 0xff)});
+  EXPECT_EQ(result.entries.size(), 1u);
+}
+
+TEST(Minimize, RefusesDifferentActionPriorityOrClass) {
+  const auto a = minimize_entries(
+      {entry1(0x0a, 0xff, 100, ActionOp::kDrop), entry1(0x0b, 0xff, 100, ActionOp::kPermit)});
+  EXPECT_EQ(a.entries.size(), 2u);
+
+  const auto b = minimize_entries({entry1(0x0a, 0xff, 100), entry1(0x0b, 0xff, 200)});
+  EXPECT_EQ(b.entries.size(), 2u);
+
+  const auto c = minimize_entries(
+      {entry1(0x0a, 0xff, 100, ActionOp::kDrop, 1), entry1(0x0b, 0xff, 100, ActionOp::kDrop, 2)});
+  EXPECT_EQ(c.entries.size(), 2u);
+}
+
+TEST(Minimize, RefusesMultiBitDifference) {
+  // 0b0000 vs 0b0011 differ in two bits: no exact single-entry union.
+  const auto result = minimize_entries({entry1(0x00, 0xff), entry1(0x03, 0xff)});
+  EXPECT_EQ(result.entries.size(), 2u);
+  EXPECT_EQ(result.merges, 0u);
+}
+
+TEST(Minimize, RefusesUnmaskedBitDifference) {
+  // Values differ in a bit the mask already wildcards on one side? Masks
+  // differ → no merge; equal masks where the differing bit is outside the
+  // mask cannot happen for valid entries (value ⊆ mask), covered by masks.
+  const auto result = minimize_entries({entry1(0x0a, 0xfe), entry1(0x0b, 0xff)});
+  EXPECT_EQ(result.entries.size(), 2u);
+}
+
+TEST(Minimize, MultiFieldOnlyOneFieldMayDiffer) {
+  TableEntry a;
+  a.fields = {MatchField{1, 0xff, 0, 0}, MatchField{8, 0xff, 0, 0}};
+  a.priority = 100;
+  TableEntry b = a;
+  b.fields[0].value = 0;  // one bit in field 0
+  TableEntry c = a;
+  c.fields[0].value = 0;
+  c.fields[1].value = 9;  // and one bit in field 1 → not joinable with a
+
+  const auto joinable = minimize_entries({a, b});
+  EXPECT_EQ(joinable.entries.size(), 1u);
+  const auto not_joinable = minimize_entries({a, c});
+  EXPECT_EQ(not_joinable.entries.size(), 2u);
+}
+
+TEST(Minimize, BehaviourPreservedOnRandomSets) {
+  // Property: for random entry sets and random probes, the first-match
+  // verdict (action at the winning priority) is identical before and after.
+  common::Rng rng(11);
+  for (int round = 0; round < 40; ++round) {
+    std::vector<KeySpec> keys = {KeySpec{FieldRef{"a", 0, 1}, MatchKind::kTernary},
+                                 KeySpec{FieldRef{"b", 1, 1}, MatchKind::kTernary}};
+    std::vector<TableEntry> entries;
+    for (int e = 0; e < 30; ++e) {
+      TableEntry entry;
+      for (int f = 0; f < 2; ++f) {
+        MatchField field;
+        field.mask = rng.next_below(256);
+        field.value = rng.next_u64() & field.mask;
+        entry.fields.push_back(field);
+      }
+      // Action is a function of priority: equal-priority overlaps with
+      // conflicting actions are ill-defined in any TCAM, so a sound
+      // equivalence check must not generate them.
+      const auto level = static_cast<std::int32_t>(rng.next_below(3));
+      entry.priority = level * 10;
+      entry.action = level == 1 ? ActionOp::kPermit : ActionOp::kDrop;
+      entries.push_back(std::move(entry));
+    }
+
+    MatchActionTable before("b", keys, 256);
+    ASSERT_EQ(before.replace_entries(entries), TableWriteStatus::kOk);
+    const auto minimized = minimize_entries(entries);
+    EXPECT_LE(minimized.entries.size(), entries.size());
+    MatchActionTable after("a", keys, 256);
+    ASSERT_EQ(after.replace_entries(minimized.entries), TableWriteStatus::kOk);
+
+    for (int probe = 0; probe < 256; ++probe) {
+      const std::vector<std::uint64_t> values = {rng.next_below(256),
+                                                 rng.next_below(256)};
+      const auto va = before.peek(values);
+      const auto vb = after.peek(values);
+      // Verdict equivalence: same action; and either both defaulted or both
+      // matched at the same priority level.
+      EXPECT_EQ(va.action, vb.action);
+      const bool a_default = va.entry_index < 0;
+      const bool b_default = vb.entry_index < 0;
+      EXPECT_EQ(a_default, b_default);
+    }
+  }
+}
+
+TEST(Minimize, EmptyInput) {
+  const auto result = minimize_entries({});
+  EXPECT_TRUE(result.entries.empty());
+  EXPECT_EQ(result.merges, 0u);
+}
+
+}  // namespace
+}  // namespace p4iot::p4

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "p4/codegen.h"
+#include "p4/rate_guard.h"
+#include "p4/sketch.h"
+#include "p4/switch.h"
+#include "packet/ethernet.h"
+
+namespace p4iot::p4 {
+namespace {
+
+TEST(CountMinSketch, ExactForFewKeys) {
+  CountMinSketch sketch;
+  for (int i = 0; i < 10; ++i) sketch.update(42);
+  sketch.update(7, 5);
+  EXPECT_EQ(sketch.estimate(42), 10u);
+  EXPECT_EQ(sketch.estimate(7), 5u);
+  EXPECT_EQ(sketch.estimate(999), 0u);
+}
+
+TEST(CountMinSketch, NeverUnderestimates) {
+  // Property: for any workload, estimate(key) >= true count.
+  common::Rng rng(1);
+  SketchConfig config;
+  config.rows = 3;
+  config.width = 64;  // small width → collisions guaranteed
+  CountMinSketch sketch(config);
+
+  std::map<std::uint64_t, std::uint64_t> truth;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t key = rng.next_below(500);
+    sketch.update(key);
+    ++truth[key];
+  }
+  for (const auto& [key, count] : truth)
+    EXPECT_GE(sketch.estimate(key), count) << "key " << key;
+}
+
+TEST(CountMinSketch, UpdateReturnsPostUpdateEstimate) {
+  CountMinSketch sketch;
+  EXPECT_EQ(sketch.update(5), 1u);
+  EXPECT_EQ(sketch.update(5), 2u);
+  EXPECT_EQ(sketch.update(5, 10), 12u);
+}
+
+TEST(CountMinSketch, DecayHalves) {
+  CountMinSketch sketch;
+  sketch.update(3, 100);
+  sketch.decay_halve();
+  EXPECT_EQ(sketch.estimate(3), 50u);
+  sketch.decay_halve();
+  EXPECT_EQ(sketch.estimate(3), 25u);
+}
+
+TEST(CountMinSketch, ClearZeroes) {
+  CountMinSketch sketch;
+  sketch.update(3, 100);
+  sketch.clear();
+  EXPECT_EQ(sketch.estimate(3), 0u);
+}
+
+TEST(CountMinSketch, RegisterAccounting) {
+  SketchConfig config;
+  config.rows = 4;
+  config.width = 256;
+  const CountMinSketch sketch(config);
+  EXPECT_EQ(sketch.register_bits(), 4u * 256u * 32u);
+}
+
+// --- RateGuard ----------------------------------------------------------
+
+pkt::Packet udp_from(std::uint8_t src_last_octet, double t) {
+  pkt::UdpFrameSpec spec;
+  spec.ip_src = pkt::Ipv4Address::from_octets(10, 0, 0, src_last_octet);
+  spec.ip_dst = pkt::Ipv4Address::from_octets(52, 0, 0, 1);
+  spec.src_port = 40000;
+  spec.dst_port = 5683;
+  spec.payload = {1, 2, 3, 4};
+  pkt::Packet p;
+  p.bytes = build_udp_frame(spec);
+  p.timestamp_s = t;
+  return p;
+}
+
+RateGuardSpec source_guard(std::uint64_t threshold) {
+  RateGuardSpec spec;
+  spec.key_fields = {FieldRef{"ipv4_src", 26, 4}};
+  spec.threshold = threshold;
+  spec.epoch_seconds = 1.0;
+  return spec;
+}
+
+TEST(RateGuard, TripsOnlyAboveThreshold) {
+  RateGuard guard(source_guard(10));
+  // 10 packets: at or below threshold (estimate must EXCEED to trip).
+  for (int i = 0; i < 10; ++i)
+    EXPECT_FALSE(guard.observe(udp_from(5, 0.01 * i).view(), 0.01 * i));
+  // 11th packet from the same source trips.
+  EXPECT_TRUE(guard.observe(udp_from(5, 0.2).view(), 0.2));
+  EXPECT_EQ(guard.tripped_count(), 1u);
+}
+
+TEST(RateGuard, IndependentPerSource) {
+  RateGuard guard(source_guard(5));
+  for (int i = 0; i < 6; ++i) guard.observe(udp_from(5, 0.01 * i).view(), 0.01 * i);
+  // A different source is unaffected by the noisy one.
+  EXPECT_FALSE(guard.observe(udp_from(6, 0.1).view(), 0.1));
+}
+
+TEST(RateGuard, EpochDecayForgivesOldTraffic) {
+  RateGuard guard(source_guard(10));
+  for (int i = 0; i < 10; ++i) guard.observe(udp_from(5, 0.01 * i).view(), 0.01 * i);
+  // After several epochs of silence the counters have decayed; the source
+  // is no longer near the threshold.
+  EXPECT_FALSE(guard.observe(udp_from(5, 10.0).view(), 10.0));
+  EXPECT_EQ(guard.tripped_count(), 0u);
+}
+
+TEST(RateGuard, ResetClearsState) {
+  RateGuard guard(source_guard(3));
+  for (int i = 0; i < 10; ++i) guard.observe(udp_from(5, 0.01 * i).view(), 0.01 * i);
+  EXPECT_GT(guard.tripped_count(), 0u);
+  guard.reset();
+  EXPECT_EQ(guard.tripped_count(), 0u);
+  EXPECT_FALSE(guard.observe(udp_from(5, 0.0).view(), 0.0));
+}
+
+// --- Switch integration --------------------------------------------------
+
+P4Program empty_program() {
+  P4Program program;
+  program.parser.window_bytes = 64;
+  const FieldRef port{"dst_port", 36, 2};
+  program.parser.fields = {port};
+  program.keys = {KeySpec{port, MatchKind::kTernary}};
+  return program;
+}
+
+TEST(P4SwitchRateGuard, DropsHeavyHitterAfterThreshold) {
+  P4Switch sw(empty_program(), 16);
+  sw.set_rate_guard(source_guard(20));
+
+  std::size_t dropped = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto verdict = sw.process(udp_from(5, 0.001 * i));
+    dropped += verdict.action == ActionOp::kDrop ? 1 : 0;
+  }
+  EXPECT_EQ(dropped, 100u - 20u);  // first 20 pass; estimate 21 > 20 trips
+  EXPECT_EQ(sw.stats().rate_guard_drops, dropped);
+
+  // Low-rate source unaffected throughout.
+  EXPECT_EQ(sw.process(udp_from(9, 0.2)).action, ActionOp::kPermit);
+}
+
+TEST(P4SwitchRateGuard, TableDropsNeverReachTheGuard) {
+  P4Switch sw(empty_program(), 16);
+  sw.set_rate_guard(source_guard(5));
+  TableEntry drop_coap;
+  drop_coap.fields = {MatchField{5683, 0xffff, 0, 0}};
+  drop_coap.action = ActionOp::kDrop;
+  drop_coap.priority = 100;
+  ASSERT_EQ(sw.install_entry(drop_coap), TableWriteStatus::kOk);
+
+  for (int i = 0; i < 50; ++i) sw.process(udp_from(5, 0.001 * i));
+  // Everything was table-dropped; the guard saw none of it.
+  EXPECT_EQ(sw.rate_guard()->sketch().estimate(0), 0u);
+  EXPECT_EQ(sw.stats().rate_guard_drops, 0u);
+}
+
+TEST(P4SwitchRateGuard, ClearRemovesGuard) {
+  P4Switch sw(empty_program(), 16);
+  sw.set_rate_guard(source_guard(1));
+  sw.clear_rate_guard();
+  EXPECT_EQ(sw.rate_guard(), nullptr);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_EQ(sw.process(udp_from(5, 0.001 * i)).action, ActionOp::kPermit);
+}
+
+TEST(CodegenRateGuard, EmitsRegistersAndThreshold) {
+  const auto program = empty_program();
+  const auto guard = source_guard(123);
+  const std::string src = generate_p4_source(program, &guard);
+  EXPECT_NE(src.find("register<bit<32>>"), std::string::npos);
+  EXPECT_NE(src.find("cms_row0"), std::string::npos);
+  EXPECT_NE(src.find("cms_row2"), std::string::npos);
+  EXPECT_NE(src.find("HashAlgorithm.crc32"), std::string::npos);
+  EXPECT_NE(src.find("32w123"), std::string::npos);
+  EXPECT_NE(src.find("rate_update"), std::string::npos);
+  // The guard's key field is extracted even though the table doesn't use it.
+  EXPECT_NE(src.find("ipv4_src"), std::string::npos);
+  // Without a guard none of that machinery appears.
+  const std::string plain = generate_p4_source(program);
+  EXPECT_EQ(plain.find("register"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4iot::p4

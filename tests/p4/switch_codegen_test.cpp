@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include "p4/codegen.h"
+#include "p4/switch.h"
+#include "packet/ethernet.h"
+
+namespace p4iot::p4 {
+namespace {
+
+P4Program port_filter_program() {
+  P4Program program;
+  program.parser.window_bytes = 64;
+  const FieldRef dst_port{"tcp_dst_port", 36, 2};
+  program.parser.fields = {dst_port};
+  program.keys = {KeySpec{dst_port, MatchKind::kTernary}};
+  program.default_action = ActionOp::kPermit;
+  return program;
+}
+
+pkt::Packet tcp_to_port(std::uint16_t port) {
+  pkt::TcpFrameSpec spec;
+  spec.ip_src = pkt::Ipv4Address::from_octets(10, 0, 0, 10);
+  spec.ip_dst = pkt::Ipv4Address::from_octets(10, 0, 0, 2);
+  spec.src_port = 40000;
+  spec.dst_port = port;
+  pkt::Packet p;
+  p.bytes = build_tcp_frame(spec);
+  return p;
+}
+
+TableEntry drop_port(std::uint16_t port) {
+  TableEntry e;
+  e.fields = {MatchField{port, 0xffff, 0, 0}};
+  e.action = ActionOp::kDrop;
+  e.priority = 100;
+  return e;
+}
+
+TEST(ParserSpec, ExtractsBigEndianFields) {
+  ParserSpec parser;
+  parser.fields = {FieldRef{"a", 1, 2}, FieldRef{"b", 0, 1}};
+  const common::ByteBuffer frame = {0x0a, 0x0b, 0x0c};
+  const auto values = parser.extract(frame);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 0x0b0cu);
+  EXPECT_EQ(values[1], 0x0au);
+}
+
+TEST(ParserSpec, ZeroPadsPastEnd) {
+  ParserSpec parser;
+  parser.fields = {FieldRef{"tail", 2, 4}};
+  const common::ByteBuffer frame = {0x01, 0x02, 0x03};
+  // Bytes 2..5: 0x03, then three zero-padded bytes.
+  EXPECT_EQ(parser.extract(frame)[0], 0x03000000u);
+}
+
+TEST(P4Switch, DropsMatchingPermitsRest) {
+  P4Switch sw(port_filter_program(), 16);
+  ASSERT_EQ(sw.install_entry(drop_port(23)), TableWriteStatus::kOk);
+
+  EXPECT_EQ(sw.process(tcp_to_port(23)).action, ActionOp::kDrop);
+  EXPECT_EQ(sw.process(tcp_to_port(443)).action, ActionOp::kPermit);
+  EXPECT_FALSE(sw.process(tcp_to_port(23)).forwarded());
+  EXPECT_TRUE(sw.process(tcp_to_port(80)).forwarded());
+
+  const auto& stats = sw.stats();
+  EXPECT_EQ(stats.packets, 4u);
+  EXPECT_EQ(stats.dropped, 2u);
+  EXPECT_EQ(stats.permitted, 2u);
+  EXPECT_GT(stats.bytes_in, stats.bytes_forwarded);
+}
+
+TEST(P4Switch, PeekDoesNotTouchCounters) {
+  P4Switch sw(port_filter_program(), 16);
+  sw.install_entry(drop_port(23));
+  EXPECT_EQ(sw.peek(tcp_to_port(23)).action, ActionOp::kDrop);
+  EXPECT_EQ(sw.stats().packets, 0u);
+  EXPECT_EQ(sw.table().hit_count(0), 0u);
+}
+
+TEST(P4Switch, MirrorInvokesHandler) {
+  P4Switch sw(port_filter_program(), 16);
+  TableEntry mirror = drop_port(8080);
+  mirror.action = ActionOp::kMirror;
+  sw.install_entry(mirror);
+
+  int mirrored = 0;
+  sw.set_mirror_handler([&](const pkt::Packet&) { ++mirrored; });
+  EXPECT_EQ(sw.process(tcp_to_port(8080)).action, ActionOp::kMirror);
+  EXPECT_TRUE(sw.process(tcp_to_port(8080)).forwarded());  // mirror still forwards
+  EXPECT_EQ(mirrored, 2);
+  EXPECT_EQ(sw.stats().mirrored, 2u);
+}
+
+TEST(P4Switch, FailClosedDefaultDrops) {
+  auto program = port_filter_program();
+  program.default_action = ActionOp::kDrop;
+  P4Switch sw(program, 16);
+  EXPECT_EQ(sw.process(tcp_to_port(443)).action, ActionOp::kDrop);
+}
+
+TEST(P4Switch, InstallRulesReplacesAtomically) {
+  P4Switch sw(port_filter_program(), 16);
+  sw.install_entry(drop_port(23));
+  ASSERT_EQ(sw.install_rules({drop_port(80), drop_port(8080)}), TableWriteStatus::kOk);
+  EXPECT_EQ(sw.process(tcp_to_port(23)).action, ActionOp::kPermit);
+  EXPECT_EQ(sw.process(tcp_to_port(80)).action, ActionOp::kDrop);
+  EXPECT_EQ(sw.table().entry_count(), 2u);
+}
+
+TEST(P4Switch, ResetStatsClearsEverything) {
+  P4Switch sw(port_filter_program(), 16);
+  sw.install_entry(drop_port(23));
+  sw.process(tcp_to_port(23));
+  sw.reset_stats();
+  EXPECT_EQ(sw.stats().packets, 0u);
+  EXPECT_EQ(sw.table().hit_count(0), 0u);
+}
+
+TEST(P4Switch, PipelineCyclesScaleWithFields) {
+  auto program = port_filter_program();
+  EXPECT_EQ(P4Switch(program).pipeline_cycles(), 3u);  // 1 field + 2
+  program.parser.fields.push_back(FieldRef{"x", 0, 1});
+  EXPECT_EQ(P4Switch(program).pipeline_cycles(), 4u);
+}
+
+TEST(Codegen, SourceContainsExpectedConstructs) {
+  const auto program = port_filter_program();
+  const std::string src = generate_p4_source(program);
+  EXPECT_NE(src.find("#include <v1model.p4>"), std::string::npos);
+  EXPECT_NE(src.find("bit<512> data;"), std::string::npos);  // 64-byte window
+  EXPECT_NE(src.find("tcp_dst_port"), std::string::npos);
+  EXPECT_NE(src.find("table firewall"), std::string::npos);
+  EXPECT_NE(src.find("ternary"), std::string::npos);
+  EXPECT_NE(src.find("default_action = permit"), std::string::npos);
+  EXPECT_NE(src.find("V1Switch"), std::string::npos);
+}
+
+TEST(Codegen, SliceIndicesMatchOffsets) {
+  // Field at byte 36, width 2, window 64B: msb = 512-1-36*8 = 223, lsb 208.
+  const std::string src = generate_p4_source(port_filter_program());
+  EXPECT_NE(src.find("hdr.window.data[223:208]"), std::string::npos);
+}
+
+TEST(Codegen, FailClosedDefaultAction) {
+  auto program = port_filter_program();
+  program.default_action = ActionOp::kDrop;
+  EXPECT_NE(generate_p4_source(program).find("default_action = drop_packet"),
+            std::string::npos);
+}
+
+TEST(Codegen, RuntimeCommandsFormat) {
+  const auto program = port_filter_program();
+  const std::string cmds =
+      generate_runtime_commands(program, {drop_port(23), [] {
+                                            TableEntry e;
+                                            e.fields = {MatchField{0, 0, 0, 0}};
+                                            e.action = ActionOp::kPermit;
+                                            e.priority = 5;
+                                            e.note = "wildcard";
+                                            return e;
+                                          }()});
+  EXPECT_NE(cmds.find("table_add firewall drop_packet 0x17&&&0xffff => 100"),
+            std::string::npos);
+  EXPECT_NE(cmds.find("permit 0x0&&&0x0 => 5"), std::string::npos);
+  EXPECT_NE(cmds.find("# wildcard"), std::string::npos);
+}
+
+TEST(Codegen, SanitizeIdentifier) {
+  EXPECT_EQ(sanitize_identifier("tcp.dst_port"), "tcp_dst_port");
+  EXPECT_EQ(sanitize_identifier("9lives"), "f_9lives");
+  EXPECT_EQ(sanitize_identifier(""), "f_");
+  EXPECT_EQ(sanitize_identifier("ok_name"), "ok_name");
+}
+
+TEST(Ir, NamesAreStable) {
+  EXPECT_STREQ(match_kind_name(MatchKind::kTernary), "ternary");
+  EXPECT_STREQ(match_kind_name(MatchKind::kLpm), "lpm");
+  EXPECT_STREQ(action_op_name(ActionOp::kDrop), "drop");
+  EXPECT_STREQ(action_op_name(ActionOp::kMirror), "mirror_to_cpu");
+}
+
+}  // namespace
+}  // namespace p4iot::p4

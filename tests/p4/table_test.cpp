@@ -1,0 +1,183 @@
+#include "p4/table.h"
+
+#include <gtest/gtest.h>
+
+namespace p4iot::p4 {
+namespace {
+
+std::vector<KeySpec> two_keys() {
+  return {
+      KeySpec{FieldRef{"port", 36, 2}, MatchKind::kTernary},
+      KeySpec{FieldRef{"flags", 47, 1}, MatchKind::kTernary},
+  };
+}
+
+TableEntry drop_entry(std::uint64_t port_value, std::uint64_t port_mask,
+                      std::uint64_t flags_value, std::uint64_t flags_mask,
+                      std::int32_t priority = 100) {
+  TableEntry e;
+  e.fields = {MatchField{port_value, port_mask, 0, 0},
+              MatchField{flags_value, flags_mask, 0, 0}};
+  e.priority = priority;
+  e.action = ActionOp::kDrop;
+  return e;
+}
+
+TEST(MatchActionTable, TernaryMatchAndDefault) {
+  MatchActionTable table("t", two_keys(), 10);
+  ASSERT_EQ(table.add_entry(drop_entry(23, 0xffff, 0x02, 0xff)), TableWriteStatus::kOk);
+
+  const std::vector<std::uint64_t> hit = {23, 0x02};
+  const std::vector<std::uint64_t> miss = {80, 0x02};
+  EXPECT_EQ(table.lookup(hit).action, ActionOp::kDrop);
+  EXPECT_EQ(table.lookup(hit).entry_index, 0);
+  EXPECT_EQ(table.lookup(miss).action, ActionOp::kPermit);
+  EXPECT_EQ(table.lookup(miss).entry_index, -1);
+  EXPECT_EQ(table.hit_count(0), 2u);   // two lookups of `hit`
+  EXPECT_EQ(table.default_hits(), 2u); // two lookups of `miss`
+}
+
+TEST(MatchActionTable, WildcardMaskMatchesAnything) {
+  MatchActionTable table("t", two_keys(), 10);
+  ASSERT_EQ(table.add_entry(drop_entry(0, 0, 0x02, 0xff)), TableWriteStatus::kOk);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{9999, 0x02}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{9999, 0x10}).action, ActionOp::kPermit);
+}
+
+TEST(MatchActionTable, PriorityOrderWins) {
+  MatchActionTable table("t", two_keys(), 10);
+  // Low-priority wildcard drop, high-priority specific permit.
+  TableEntry specific = drop_entry(23, 0xffff, 0, 0, 200);
+  specific.action = ActionOp::kPermit;
+  ASSERT_EQ(table.add_entry(drop_entry(0, 0, 0, 0, 100)), TableWriteStatus::kOk);
+  ASSERT_EQ(table.add_entry(specific), TableWriteStatus::kOk);
+
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{23, 0}).action, ActionOp::kPermit);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{80, 0}).action, ActionOp::kDrop);
+  // Entries are stored priority-descending.
+  EXPECT_EQ(table.entries()[0].priority, 200);
+}
+
+TEST(MatchActionTable, CapacityEnforced) {
+  MatchActionTable table("t", two_keys(), 2);
+  EXPECT_EQ(table.add_entry(drop_entry(1, 0xffff, 0, 0)), TableWriteStatus::kOk);
+  EXPECT_EQ(table.add_entry(drop_entry(2, 0xffff, 0, 0)), TableWriteStatus::kOk);
+  EXPECT_EQ(table.add_entry(drop_entry(3, 0xffff, 0, 0)), TableWriteStatus::kTableFull);
+  EXPECT_EQ(table.entry_count(), 2u);
+}
+
+TEST(MatchActionTable, ValidationRejectsBadEntries) {
+  MatchActionTable table("t", two_keys(), 10);
+
+  TableEntry wrong_arity;
+  wrong_arity.fields = {MatchField{1, 1, 0, 0}};
+  EXPECT_EQ(table.add_entry(wrong_arity), TableWriteStatus::kKeyMismatch);
+
+  // Value wider than the 2-byte key.
+  EXPECT_EQ(table.add_entry(drop_entry(0x1ffff, 0x1ffff, 0, 0)),
+            TableWriteStatus::kInvalidField);
+
+  // value & ~mask != 0 (value bits outside the mask).
+  EXPECT_EQ(table.add_entry(drop_entry(0xff, 0x0f, 0, 0)),
+            TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, ExactKindRequiresEquality) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"f", 0, 2}, MatchKind::kExact}};
+  MatchActionTable table("t", keys, 4);
+  TableEntry e;
+  e.fields = {MatchField{0x1234, 0, 0, 0}};
+  e.action = ActionOp::kDrop;
+  ASSERT_EQ(table.add_entry(e), TableWriteStatus::kOk);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{0x1234}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{0x1235}).action, ActionOp::kPermit);
+}
+
+TEST(MatchActionTable, LpmValidatesPrefixMask) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"addr", 26, 4}, MatchKind::kLpm}};
+  MatchActionTable table("t", keys, 4);
+
+  TableEntry good;
+  good.fields = {MatchField{0x0a000000, 0xff000000, 0, 0}};  // 10.0.0.0/8
+  good.action = ActionOp::kDrop;
+  EXPECT_EQ(table.add_entry(good), TableWriteStatus::kOk);
+
+  TableEntry bad;
+  bad.fields = {MatchField{0, 0x00ff0000, 0, 0}};  // non-contiguous from left
+  EXPECT_EQ(table.add_entry(bad), TableWriteStatus::kInvalidField);
+
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{0x0a010203}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{0x34010203}).action, ActionOp::kPermit);
+}
+
+TEST(MatchActionTable, RangeKind) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"len", 16, 2}, MatchKind::kRange}};
+  MatchActionTable table("t", keys, 4);
+  TableEntry e;
+  e.fields = {MatchField{0, 0, 100, 200}};
+  e.action = ActionOp::kDrop;
+  ASSERT_EQ(table.add_entry(e), TableWriteStatus::kOk);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{100}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{200}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{99}).action, ActionOp::kPermit);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{201}).action, ActionOp::kPermit);
+
+  TableEntry inverted;
+  inverted.fields = {MatchField{0, 0, 5, 1}};
+  EXPECT_EQ(table.add_entry(inverted), TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, ReplaceEntriesAtomicAndSorted) {
+  MatchActionTable table("t", two_keys(), 10);
+  table.add_entry(drop_entry(1, 0xffff, 0, 0));
+  std::vector<TableEntry> fresh = {drop_entry(5, 0xffff, 0, 0, 50),
+                                   drop_entry(6, 0xffff, 0, 0, 150)};
+  ASSERT_EQ(table.replace_entries(fresh), TableWriteStatus::kOk);
+  EXPECT_EQ(table.entry_count(), 2u);
+  EXPECT_EQ(table.entries()[0].priority, 150);
+  EXPECT_EQ(table.hit_count(0), 0u);  // counters reset
+
+  std::vector<TableEntry> too_many(11, drop_entry(1, 0xffff, 0, 0));
+  EXPECT_EQ(table.replace_entries(too_many), TableWriteStatus::kTableFull);
+  EXPECT_EQ(table.entry_count(), 2u);  // unchanged on failure
+}
+
+TEST(MatchActionTable, RemoveEntryShiftsCounters) {
+  MatchActionTable table("t", two_keys(), 10);
+  table.add_entry(drop_entry(1, 0xffff, 0, 0, 200));
+  table.add_entry(drop_entry(2, 0xffff, 0, 0, 100));
+  table.lookup(std::vector<std::uint64_t>{2, 0});  // hits entry index 1
+  EXPECT_TRUE(table.remove_entry(0));
+  EXPECT_EQ(table.entry_count(), 1u);
+  EXPECT_EQ(table.hit_count(0), 1u);  // the surviving entry kept its count
+  EXPECT_FALSE(table.remove_entry(5));
+}
+
+TEST(MatchActionTable, TcamAccounting) {
+  MatchActionTable table("t", two_keys(), 10);
+  EXPECT_EQ(table.key_bits(), 24u);  // 16 + 8
+  table.add_entry(drop_entry(1, 0xffff, 0, 0));
+  table.add_entry(drop_entry(2, 0xffff, 0, 0));
+  EXPECT_EQ(table.tcam_bits(), 2u * 2u * 24u);
+}
+
+TEST(MatchActionTable, ResetCountersClearsAll) {
+  MatchActionTable table("t", two_keys(), 10);
+  table.add_entry(drop_entry(1, 0xffff, 0, 0));
+  table.lookup(std::vector<std::uint64_t>{1, 0});
+  table.lookup(std::vector<std::uint64_t>{9, 0});
+  table.reset_counters();
+  EXPECT_EQ(table.hit_count(0), 0u);
+  EXPECT_EQ(table.default_hits(), 0u);
+}
+
+TEST(MatchActionTable, MissingValuesTreatedAsZero) {
+  MatchActionTable table("t", two_keys(), 10);
+  table.add_entry(drop_entry(0, 0xffff, 0, 0xff));
+  // Fewer extracted values than keys: missing ones read as zero.
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{0}).action, ActionOp::kDrop);
+  EXPECT_EQ(table.peek(std::vector<std::uint64_t>{}).action, ActionOp::kDrop);
+}
+
+}  // namespace
+}  // namespace p4iot::p4

@@ -1,0 +1,121 @@
+#include "packet/app_layer.h"
+
+#include <gtest/gtest.h>
+
+namespace p4iot::pkt {
+namespace {
+
+TEST(Mqtt, ConnectRoundTrip) {
+  const auto data = build_mqtt_connect("plug-0001");
+  const auto msg = parse_mqtt(data);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MqttType::kConnect);
+  const std::string client_id(msg->payload.begin(), msg->payload.end());
+  EXPECT_EQ(client_id, "plug-0001");
+}
+
+TEST(Mqtt, ConnectWithCredentialsSetsFlags) {
+  const auto data = build_mqtt_connect("bot-1", "admin", "12345");
+  // Connect flags live after "MQTT" + level: byte 0 fixed hdr, 1 remaining
+  // len, 2-3 name len, 4-7 "MQTT", 8 level, 9 flags.
+  ASSERT_GT(data.size(), 9u);
+  EXPECT_EQ(data[9] & 0x80, 0x80);  // username flag
+  EXPECT_EQ(data[9] & 0x40, 0x40);  // password flag
+  EXPECT_TRUE(parse_mqtt(data).has_value());
+}
+
+TEST(Mqtt, PublishRoundTrip) {
+  const common::ByteBuffer payload = {'4', '2', 'W'};
+  const auto data = build_mqtt_publish("home/plug1/power", payload);
+  const auto msg = parse_mqtt(data);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MqttType::kPublish);
+  EXPECT_EQ(msg->topic, "home/plug1/power");
+  EXPECT_EQ(msg->payload, payload);
+}
+
+TEST(Mqtt, PublishFlagsPreserved) {
+  const auto data = build_mqtt_publish("t", {}, 0x01);  // retain
+  const auto msg = parse_mqtt(data);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->flags, 0x01);
+}
+
+TEST(Mqtt, PingreqRoundTrip) {
+  const auto data = build_mqtt_pingreq();
+  EXPECT_EQ(data.size(), 2u);
+  const auto msg = parse_mqtt(data);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->type, MqttType::kPingreq);
+}
+
+TEST(Mqtt, LargePublishUsesMultiByteRemainingLength) {
+  const common::ByteBuffer payload(300, 0x55);
+  const auto data = build_mqtt_publish("topic", payload);
+  // Remaining length >= 128 → 2-byte varint with continuation bit.
+  EXPECT_EQ(data[1] & 0x80, 0x80);
+  const auto msg = parse_mqtt(data);
+  ASSERT_TRUE(msg.has_value());
+  EXPECT_EQ(msg->payload.size(), 300u);
+}
+
+TEST(Mqtt, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_mqtt({}).has_value());
+  EXPECT_FALSE(parse_mqtt(common::ByteBuffer{0x30}).has_value());        // no length
+  EXPECT_FALSE(parse_mqtt(common::ByteBuffer{0x00, 0x00}).has_value());  // type 0
+  EXPECT_FALSE(parse_mqtt(common::ByteBuffer{0x30, 0x7f}).has_value());  // truncated body
+}
+
+TEST(Coap, GetRoundTrip) {
+  CoapMessage msg;
+  msg.type = CoapType::kConfirmable;
+  msg.code = kCoapGet;
+  msg.message_id = 0xbeef;
+  msg.token = {0x01, 0x02, 0x03, 0x04};
+  msg.uri_path = "sensors/temp";
+  const auto data = build_coap(msg);
+
+  const auto parsed = parse_coap(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, CoapType::kConfirmable);
+  EXPECT_EQ(parsed->code, kCoapGet);
+  EXPECT_EQ(parsed->message_id, 0xbeef);
+  EXPECT_EQ(parsed->token, msg.token);
+  EXPECT_EQ(parsed->uri_path, "sensors/temp");
+  EXPECT_TRUE(parsed->payload.empty());
+}
+
+TEST(Coap, ResponseWithPayload) {
+  CoapMessage msg;
+  msg.type = CoapType::kAck;
+  msg.code = kCoapContent;
+  msg.message_id = 1;
+  msg.payload = {'2', '2', '.', '5'};
+  const auto data = build_coap(msg);
+  const auto parsed = parse_coap(data);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->code, kCoapContent);
+  EXPECT_EQ(parsed->payload, msg.payload);
+}
+
+TEST(Coap, ParseRejectsMalformed) {
+  EXPECT_FALSE(parse_coap({}).has_value());
+  EXPECT_FALSE(parse_coap(common::ByteBuffer{0x40, 0x01, 0x00}).has_value());  // short
+  // Wrong version (0).
+  EXPECT_FALSE(parse_coap(common::ByteBuffer{0x00, 0x01, 0x00, 0x01}).has_value());
+  // Token length 15 is reserved.
+  EXPECT_FALSE(parse_coap(common::ByteBuffer{0x4f, 0x01, 0x00, 0x01}).has_value());
+  // Payload marker with no payload.
+  EXPECT_FALSE(parse_coap(common::ByteBuffer{0x40, 0x01, 0x00, 0x01, 0xff}).has_value());
+}
+
+TEST(Coap, EmptyUriPathOmitted) {
+  CoapMessage msg;
+  msg.message_id = 2;
+  const auto parsed = parse_coap(build_coap(msg));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->uri_path.empty());
+}
+
+}  // namespace
+}  // namespace p4iot::pkt

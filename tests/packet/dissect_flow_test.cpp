@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include "packet/ble.h"
+#include "packet/dissect.h"
+#include "packet/ethernet.h"
+#include "packet/flow.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::pkt {
+namespace {
+
+Packet tcp_packet(std::uint16_t dst_port = 443, double t = 0.0) {
+  TcpFrameSpec spec;
+  spec.ip_src = Ipv4Address::from_octets(10, 0, 0, 10);
+  spec.ip_dst = Ipv4Address::from_octets(52, 0, 0, 1);
+  spec.src_port = 40000;
+  spec.dst_port = dst_port;
+  spec.payload = {1, 2, 3};
+  Packet p;
+  p.bytes = build_tcp_frame(spec);
+  p.link = LinkType::kEthernet;
+  p.timestamp_s = t;
+  return p;
+}
+
+TEST(Dissect, EthernetTcpFieldNames) {
+  const auto p = tcp_packet();
+  EXPECT_EQ(field_name_at(p.link, p.view(), 0), "eth.dst[0]");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 22), "ipv4.ttl");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 23), "ipv4.protocol");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 36), "tcp.dst_port[0]");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 47), "tcp.flags");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 54), "payload");
+}
+
+TEST(Dissect, FieldLayoutCoversWholeTcpFrame) {
+  const auto p = tcp_packet();
+  const auto layout = field_layout(p.link, p.view());
+  std::vector<bool> covered(p.size(), false);
+  for (const auto& f : layout)
+    for (std::size_t i = f.offset; i < f.offset + f.width && i < p.size(); ++i)
+      covered[i] = true;
+  for (std::size_t i = 0; i < covered.size(); ++i)
+    EXPECT_TRUE(covered[i]) << "byte " << i << " uncovered";
+}
+
+TEST(Dissect, ZigbeeFieldNames) {
+  Packet p;
+  p.bytes = build_zigbee_frame(ZigbeeFrameSpec{});
+  p.link = LinkType::kIeee802154;
+  EXPECT_EQ(field_name_at(p.link, p.view(), 0), "mac154.frame_control[0]");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 11), "zbee_nwk.dst[0]");
+  EXPECT_EQ(field_name_at(p.link, p.view(), 19), "zbee_aps.cluster[0]");
+}
+
+TEST(Dissect, BleAdvVsDataLayouts) {
+  Packet adv;
+  adv.bytes = build_ble_adv(BleAdvSpec{.pdu_type = kBleAdvInd,
+                                       .adv_addr = {},
+                                       .adv_data = {1, 2, 3}});
+  adv.link = LinkType::kBleLinkLayer;
+  EXPECT_EQ(field_name_at(adv.link, adv.view(), 6), "btle.adv_addr[0]");
+
+  Packet data;
+  data.bytes = build_ble_data(BleDataSpec{});
+  data.link = LinkType::kBleLinkLayer;
+  EXPECT_EQ(field_name_at(data.link, data.view(), 10), "att.opcode");
+  EXPECT_EQ(field_name_at(data.link, data.view(), 8), "l2cap.cid[0]");
+}
+
+TEST(Dissect, PastEndNamed) {
+  const auto p = tcp_packet();
+  EXPECT_EQ(field_name_at(p.link, p.view(), 100000), "past-end");
+}
+
+TEST(Dissect, DescribePacketMentionsProtocolAndLabel) {
+  auto p = tcp_packet();
+  p.attack = AttackType::kExfiltration;
+  const std::string desc = describe_packet(p);
+  EXPECT_NE(desc.find("TCP"), std::string::npos);
+  EXPECT_NE(desc.find("exfiltration"), std::string::npos);
+  EXPECT_NE(desc.find("10.0.0.10"), std::string::npos);
+}
+
+TEST(FlowKey, TcpFiveTuple) {
+  const auto p = tcp_packet(443);
+  const auto key = flow_key(p);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->src, Ipv4Address::from_octets(10, 0, 0, 10).value);
+  EXPECT_EQ(key->dst_port, 443);
+  EXPECT_EQ(key->proto, kIpProtoTcp);
+}
+
+TEST(FlowKey, ZigbeeUsesNwkAddresses) {
+  Packet p;
+  ZigbeeFrameSpec spec;
+  spec.nwk_src = 0x1011;
+  spec.nwk_dst = 0x0000;
+  spec.cluster_id = kClusterOnOff;
+  p.bytes = build_zigbee_frame(spec);
+  p.link = LinkType::kIeee802154;
+  const auto key = flow_key(p);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(key->src, 0x1011u);
+  EXPECT_EQ(key->src_port, kClusterOnOff);
+}
+
+TEST(FlowKey, TruncatedPacketHasNoKey) {
+  Packet p;
+  p.bytes = {1, 2, 3};
+  p.link = LinkType::kEthernet;
+  EXPECT_FALSE(flow_key(p).has_value());
+}
+
+TEST(FlowKeyHash, EqualKeysHashEqual) {
+  const auto a = flow_key(tcp_packet(443));
+  const auto b = flow_key(tcp_packet(443));
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a, *b);
+  EXPECT_EQ(FlowKeyHash{}(*a), FlowKeyHash{}(*b));
+  const auto c = flow_key(tcp_packet(80));
+  EXPECT_NE(*a, *c);
+}
+
+TEST(FlowTable, AggregatesStats) {
+  FlowTable table;
+  const auto k1 = table.observe(tcp_packet(443, 0.0));
+  table.observe(tcp_packet(443, 1.0));
+  table.observe(tcp_packet(443, 2.0));
+  table.observe(tcp_packet(80, 0.5));
+  ASSERT_TRUE(k1.has_value());
+  EXPECT_EQ(table.flow_count(), 2u);
+
+  const FlowStats* s = table.find(*k1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->packets, 3u);
+  EXPECT_DOUBLE_EQ(s->first_seen_s, 0.0);
+  EXPECT_DOUBLE_EQ(s->last_seen_s, 2.0);
+  EXPECT_DOUBLE_EQ(s->duration_s(), 2.0);
+  EXPECT_GT(s->mean_packet_size, 0.0);
+}
+
+TEST(FlowTable, TracksAttackMajority) {
+  FlowTable table;
+  auto attack = tcp_packet(23, 0.0);
+  attack.attack = AttackType::kBruteForce;
+  const auto key = table.observe(attack);
+  table.observe(attack);
+  auto benign = tcp_packet(23, 1.0);
+  table.observe(benign);
+  const FlowStats* s = table.find(*key);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->attack_packets, 2u);
+  EXPECT_TRUE(s->majority_attack());
+}
+
+TEST(FlowTable, EvictIdleRemovesOldFlows) {
+  FlowTable table;
+  table.observe(tcp_packet(443, 0.0));
+  table.observe(tcp_packet(80, 100.0));
+  EXPECT_EQ(table.evict_idle(50.0), 1u);
+  EXPECT_EQ(table.flow_count(), 1u);
+}
+
+TEST(FlowTable, SnapshotMatchesCount) {
+  FlowTable table;
+  table.observe(tcp_packet(1, 0.0));
+  table.observe(tcp_packet(2, 0.0));
+  table.observe(tcp_packet(3, 0.0));
+  EXPECT_EQ(table.snapshot().size(), 3u);
+}
+
+}  // namespace
+}  // namespace p4iot::pkt

@@ -1,0 +1,147 @@
+#include "packet/pcap.h"
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "packet/ble.h"
+#include "packet/ethernet.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::pkt {
+namespace {
+
+Trace mixed_trace() {
+  Trace trace("mixed");
+  TcpFrameSpec tcp;
+  tcp.src_port = 1;
+  tcp.dst_port = 2;
+  for (int i = 0; i < 5; ++i) {
+    Packet p;
+    p.bytes = build_tcp_frame(tcp);
+    p.timestamp_s = 1.5 + 0.25 * i;
+    p.link = LinkType::kEthernet;
+    trace.add(std::move(p));
+  }
+  for (int i = 0; i < 3; ++i) {
+    Packet p;
+    p.bytes = build_zigbee_frame(ZigbeeFrameSpec{});
+    p.timestamp_s = 2.0 + 0.1 * i;
+    p.link = LinkType::kIeee802154;
+    trace.add(std::move(p));
+  }
+  Packet ble;
+  ble.bytes = build_ble_data(BleDataSpec{});
+  ble.timestamp_s = 0.125;
+  ble.link = LinkType::kBleLinkLayer;
+  trace.add(std::move(ble));
+  return trace;
+}
+
+TEST(Pcap, DltMapping) {
+  EXPECT_EQ(pcap_linktype(LinkType::kEthernet), 1u);
+  EXPECT_EQ(pcap_linktype(LinkType::kIeee802154), 230u);
+  EXPECT_EQ(pcap_linktype(LinkType::kBleLinkLayer), 251u);
+}
+
+TEST(Pcap, RoundTripPerLinkType) {
+  const auto trace = mixed_trace();
+  for (const auto link : {LinkType::kEthernet, LinkType::kIeee802154,
+                          LinkType::kBleLinkLayer}) {
+    const std::string path = ::testing::TempDir() + "/p4iot_" +
+                             std::string(link_type_name(link)) + ".pcap";
+    const auto written = write_pcap(trace, link, path);
+    ASSERT_TRUE(written.has_value());
+
+    const auto expected = trace.filter([&](const Packet& p) { return p.link == link; });
+    EXPECT_EQ(*written, expected.size());
+
+    const auto loaded = read_pcap(path);
+    ASSERT_TRUE(loaded.has_value());
+    ASSERT_EQ(loaded->size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ((*loaded)[i].bytes, expected[i].bytes);
+      EXPECT_EQ((*loaded)[i].link, link);
+      EXPECT_NEAR((*loaded)[i].timestamp_s, expected[i].timestamp_s, 1e-5);
+      EXPECT_EQ((*loaded)[i].attack, AttackType::kNone);  // pcap carries no labels
+    }
+    std::remove(path.c_str());
+  }
+}
+
+TEST(Pcap, EmptySelectionYieldsValidEmptyFile) {
+  Trace trace;
+  const std::string path = ::testing::TempDir() + "/p4iot_empty.pcap";
+  const auto written = write_pcap(trace, LinkType::kEthernet, path);
+  ASSERT_TRUE(written.has_value());
+  EXPECT_EQ(*written, 0u);
+  const auto loaded = read_pcap(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RejectsGarbage) {
+  const std::string path = ::testing::TempDir() + "/p4iot_garbage.pcap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("not a pcap file at all, sorry!!", 1, 31, f);
+  std::fclose(f);
+  EXPECT_FALSE(read_pcap(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, RejectsMissingFile) {
+  EXPECT_FALSE(read_pcap("/nonexistent/capture.pcap").has_value());
+}
+
+TEST(Pcap, RejectsTruncatedRecord) {
+  const auto trace = mixed_trace();
+  const std::string path = ::testing::TempDir() + "/p4iot_trunc.pcap";
+  ASSERT_TRUE(write_pcap(trace, LinkType::kEthernet, path).has_value());
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 7), 0);
+  EXPECT_FALSE(read_pcap(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadsSwappedByteOrder) {
+  // Hand-craft a big-endian pcap with one 4-byte Ethernet record.
+  const std::string path = ::testing::TempDir() + "/p4iot_swapped.pcap";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  auto be32 = [&](std::uint32_t v) {
+    const std::uint8_t bytes[4] = {static_cast<std::uint8_t>(v >> 24),
+                                   static_cast<std::uint8_t>(v >> 16),
+                                   static_cast<std::uint8_t>(v >> 8),
+                                   static_cast<std::uint8_t>(v)};
+    std::fwrite(bytes, 1, 4, f);
+  };
+  auto be16 = [&](std::uint16_t v) {
+    const std::uint8_t bytes[2] = {static_cast<std::uint8_t>(v >> 8),
+                                   static_cast<std::uint8_t>(v)};
+    std::fwrite(bytes, 1, 2, f);
+  };
+  be32(0xa1b2c3d4);  // written big-endian → reader sees swapped magic
+  be16(2); be16(4);
+  be32(0); be32(0); be32(65535);
+  be32(1);  // DLT_EN10MB
+  be32(10); be32(500000); be32(4); be32(4);  // record header
+  const std::uint8_t payload[4] = {0xde, 0xad, 0xbe, 0xef};
+  std::fwrite(payload, 1, 4, f);
+  std::fclose(f);
+
+  const auto loaded = read_pcap(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].bytes, (common::ByteBuffer{0xde, 0xad, 0xbe, 0xef}));
+  EXPECT_NEAR((*loaded)[0].timestamp_s, 10.5, 1e-6);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace p4iot::pkt

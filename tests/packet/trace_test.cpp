@@ -1,0 +1,193 @@
+#include "packet/trace.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "packet/ethernet.h"
+
+namespace p4iot::pkt {
+namespace {
+
+Packet make_packet(double t, AttackType attack = AttackType::kNone,
+                   std::uint8_t filler = 0xaa) {
+  Packet p;
+  p.bytes = common::ByteBuffer(32, filler);
+  p.timestamp_s = t;
+  p.attack = attack;
+  p.device_id = 7;
+  return p;
+}
+
+TEST(Trace, StatsCountPerAttackType) {
+  Trace trace("t");
+  trace.add(make_packet(0.0));
+  trace.add(make_packet(1.0, AttackType::kSynFlood));
+  trace.add(make_packet(2.0, AttackType::kSynFlood));
+  trace.add(make_packet(5.0, AttackType::kBleSpam));
+
+  const auto s = trace.stats();
+  EXPECT_EQ(s.packets, 4u);
+  EXPECT_EQ(s.attack_packets, 3u);
+  EXPECT_EQ(s.per_attack[static_cast<int>(AttackType::kSynFlood)], 2u);
+  EXPECT_EQ(s.per_attack[static_cast<int>(AttackType::kBleSpam)], 1u);
+  EXPECT_EQ(s.per_attack[static_cast<int>(AttackType::kNone)], 1u);
+  EXPECT_DOUBLE_EQ(s.duration_s, 5.0);
+  EXPECT_DOUBLE_EQ(s.attack_fraction(), 0.75);
+  EXPECT_EQ(s.bytes, 4u * 32u);
+}
+
+TEST(Trace, EmptyStatsSafe) {
+  const Trace trace;
+  const auto s = trace.stats();
+  EXPECT_EQ(s.packets, 0u);
+  EXPECT_DOUBLE_EQ(s.attack_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(s.duration_s, 0.0);
+}
+
+TEST(Trace, SortByTimeIsStable) {
+  Trace trace;
+  trace.add(make_packet(3.0, AttackType::kNone, 1));
+  trace.add(make_packet(1.0, AttackType::kNone, 2));
+  trace.add(make_packet(3.0, AttackType::kNone, 3));  // tie with first
+  trace.sort_by_time();
+  EXPECT_EQ(trace[0].bytes[0], 2);
+  EXPECT_EQ(trace[1].bytes[0], 1);  // original order preserved on tie
+  EXPECT_EQ(trace[2].bytes[0], 3);
+}
+
+TEST(Trace, SplitPreservesAllPackets) {
+  Trace trace;
+  for (int i = 0; i < 100; ++i)
+    trace.add(make_packet(i, i % 3 == 0 ? AttackType::kPortScan : AttackType::kNone));
+  common::Rng rng(5);
+  const auto [train, test] = trace.split(0.7, rng);
+  EXPECT_EQ(train.size(), 70u);
+  EXPECT_EQ(test.size(), 30u);
+  EXPECT_EQ(train.stats().attack_packets + test.stats().attack_packets, 34u);
+}
+
+TEST(Trace, SplitIsDeterministic) {
+  Trace trace;
+  for (int i = 0; i < 50; ++i) trace.add(make_packet(i));
+  common::Rng rng1(9), rng2(9);
+  const auto [a_train, a_test] = trace.split(0.5, rng1);
+  const auto [b_train, b_test] = trace.split(0.5, rng2);
+  ASSERT_EQ(a_train.size(), b_train.size());
+  for (std::size_t i = 0; i < a_train.size(); ++i)
+    EXPECT_DOUBLE_EQ(a_train[i].timestamp_s, b_train[i].timestamp_s);
+}
+
+TEST(Trace, FilterSelectsMatching) {
+  Trace trace;
+  trace.add(make_packet(0.0, AttackType::kNone));
+  trace.add(make_packet(1.0, AttackType::kSynFlood));
+  const auto attacks = trace.filter([](const Packet& p) { return p.is_attack(); });
+  EXPECT_EQ(attacks.size(), 1u);
+  EXPECT_EQ(attacks[0].attack, AttackType::kSynFlood);
+}
+
+TEST(Trace, AppendConcatenates) {
+  Trace a, b;
+  a.add(make_packet(0.0));
+  b.add(make_packet(1.0));
+  b.add(make_packet(2.0));
+  a.append(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(TraceFile, RoundTrip) {
+  Trace trace("roundtrip");
+  for (int i = 0; i < 10; ++i) {
+    auto p = make_packet(i * 0.5, i % 2 ? AttackType::kUdpFlood : AttackType::kNone,
+                         static_cast<std::uint8_t>(i));
+    p.link = i % 3 == 0 ? LinkType::kBleLinkLayer : LinkType::kEthernet;
+    p.device_id = static_cast<std::uint32_t>(i);
+    trace.add(std::move(p));
+  }
+
+  const std::string path = ::testing::TempDir() + "/p4iot_trace_test.trc";
+  ASSERT_TRUE(write_trace(trace, path));
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*loaded)[i].bytes, trace[i].bytes);
+    EXPECT_DOUBLE_EQ((*loaded)[i].timestamp_s, trace[i].timestamp_s);
+    EXPECT_EQ((*loaded)[i].link, trace[i].link);
+    EXPECT_EQ((*loaded)[i].attack, trace[i].attack);
+    EXPECT_EQ((*loaded)[i].device_id, trace[i].device_id);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(read_trace("/nonexistent/p4iot.trc").has_value());
+}
+
+TEST(TraceFile, CorruptMagicRejected) {
+  const std::string path = ::testing::TempDir() + "/p4iot_corrupt.trc";
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite("NOTATRACE-------", 1, 16, f);
+  std::fclose(f);
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(TraceFile, TruncatedFileRejected) {
+  Trace trace;
+  trace.add(make_packet(1.0));
+  const std::string path = ::testing::TempDir() + "/p4iot_trunc.trc";
+  ASSERT_TRUE(write_trace(trace, path));
+  // Truncate mid-record.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+  EXPECT_FALSE(read_trace(path).has_value());
+  std::remove(path.c_str());
+}
+
+TEST(HeaderWindow, ZeroPadsShortPackets) {
+  Packet p;
+  p.bytes = {1, 2, 3};
+  const auto window = header_window(p, 8);
+  ASSERT_EQ(window.size(), 8u);
+  EXPECT_EQ(window[0], 1);
+  EXPECT_EQ(window[2], 3);
+  EXPECT_EQ(window[3], 0);
+  EXPECT_EQ(window[7], 0);
+}
+
+TEST(HeaderWindow, TruncatesLongPackets) {
+  Packet p;
+  p.bytes = common::ByteBuffer(100, 0xff);
+  EXPECT_EQ(header_window(p, 16).size(), 16u);
+}
+
+TEST(HeaderWindow, FeaturesScaledToUnit) {
+  Packet p;
+  p.bytes = {0, 255, 128};
+  const auto f = header_window_features(p, 4);
+  ASSERT_EQ(f.size(), 4u);
+  EXPECT_DOUBLE_EQ(f[0], 0.0);
+  EXPECT_DOUBLE_EQ(f[1], 1.0);
+  EXPECT_NEAR(f[2], 128.0 / 255.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f[3], 0.0);
+}
+
+TEST(AttackTypeNames, AllDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i < kNumAttackTypes; ++i)
+    names.insert(attack_type_name(static_cast<AttackType>(i)));
+  EXPECT_EQ(names.size(), static_cast<std::size_t>(kNumAttackTypes));
+}
+
+}  // namespace
+}  // namespace p4iot::pkt

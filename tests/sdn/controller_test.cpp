@@ -1,0 +1,134 @@
+#include "sdn/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "trafficgen/datasets.h"
+#include "trafficgen/wifi_gen.h"
+
+namespace p4iot::sdn {
+namespace {
+
+ControllerConfig fast_config() {
+  ControllerConfig config;
+  config.pipeline.stage1.probe.epochs = 6;
+  config.pipeline.stage1.autoencoder.epochs = 5;
+  config.sample_probability = 0.5;
+  config.retrain_min_samples = 200;
+  config.drift_window = 100;
+  config.min_retrain_gap_s = 2.0;
+  return config;
+}
+
+/// Ground-truth oracle (stands in for the out-of-band IDS).
+LabelOracle truth_oracle() {
+  return [](const pkt::Packet& p) { return std::optional<bool>(p.is_attack()); };
+}
+
+pkt::Trace wifi_trace(std::vector<pkt::AttackType> attacks, std::uint64_t seed,
+                      double duration = 30.0) {
+  auto cfg = gen::ScenarioConfig::with_default_attacks(seed, duration,
+                                                       std::move(attacks), 30.0);
+  cfg.benign_devices = 6;
+  return gen::generate_wifi_trace(cfg);
+}
+
+TEST(Controller, BootstrapInstallsRules) {
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(
+      wifi_trace({pkt::AttackType::kSynFlood, pkt::AttackType::kPortScan}, 1)));
+  EXPECT_GT(controller.data_plane().table().entry_count(), 0u);
+  ASSERT_FALSE(controller.events().empty());
+  EXPECT_EQ(controller.events()[0].type, ControllerEventType::kBootstrap);
+}
+
+TEST(Controller, BootstrapFailsWithTinyTable) {
+  auto config = fast_config();
+  config.table_capacity = 1;
+  Controller controller(config, truth_oracle());
+  EXPECT_FALSE(controller.bootstrap(
+      wifi_trace({pkt::AttackType::kSynFlood, pkt::AttackType::kUdpFlood}, 2)));
+  EXPECT_EQ(controller.events().back().type, ControllerEventType::kInstallFailed);
+}
+
+TEST(Controller, HandleDropsKnownAttacks) {
+  Controller controller(fast_config(), truth_oracle());
+  const auto train = wifi_trace({pkt::AttackType::kSynFlood}, 3);
+  ASSERT_TRUE(controller.bootstrap(train));
+
+  const auto live = wifi_trace({pkt::AttackType::kSynFlood}, 4);
+  std::size_t attack_drops = 0, attacks = 0;
+  for (const auto& p : live.packets()) {
+    const auto verdict = controller.handle(p);
+    if (p.is_attack()) {
+      ++attacks;
+      attack_drops += verdict.action == p4::ActionOp::kDrop ? 1 : 0;
+    }
+  }
+  ASSERT_GT(attacks, 50u);
+  EXPECT_GT(static_cast<double>(attack_drops) / static_cast<double>(attacks), 0.8);
+}
+
+TEST(Controller, NoRetrainWithoutDrift) {
+  Controller controller(fast_config(), truth_oracle());
+  const auto train = wifi_trace({pkt::AttackType::kSynFlood}, 5);
+  ASSERT_TRUE(controller.bootstrap(train));
+  const auto live = wifi_trace({pkt::AttackType::kSynFlood}, 6);
+  for (const auto& p : live.packets()) controller.handle(p);
+  EXPECT_EQ(controller.retrain_count(), 0u);
+}
+
+TEST(Controller, DriftTriggersRetrainAndRecovers) {
+  // Bootstrap only knows SYN floods; the live trace adds brute force (a
+  // different header signature) → misses accumulate → retrain.
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 7)));
+
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 8, 60.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+  EXPECT_GE(controller.retrain_count(), 1u);
+
+  // After retraining, a fresh wave of the new attack is mostly caught.
+  const auto wave = wifi_trace({pkt::AttackType::kBruteForce}, 9);
+  std::size_t drops = 0, attacks = 0;
+  for (const auto& p : wave.packets()) {
+    const auto verdict = controller.mutable_data_plane().process(p);
+    if (p.is_attack()) {
+      ++attacks;
+      drops += verdict.action == p4::ActionOp::kDrop ? 1 : 0;
+    }
+  }
+  ASSERT_GT(attacks, 20u);
+  EXPECT_GT(static_cast<double>(drops) / static_cast<double>(attacks), 0.7);
+}
+
+TEST(Controller, MissRateReflectsRecentWindow) {
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 10)));
+  EXPECT_DOUBLE_EQ(controller.current_miss_rate(), 0.0);
+}
+
+TEST(Controller, NoOracleMeansNoRetraining) {
+  Controller controller(fast_config(), nullptr);
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 11)));
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 12, 60.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+  EXPECT_EQ(controller.retrain_count(), 0u);
+}
+
+TEST(Controller, EventsTimestampedMonotonically) {
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 13)));
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce,
+                                pkt::AttackType::kMqttHijack}, 14, 60.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+  double prev = -1.0;
+  for (const auto& e : controller.events()) {
+    EXPECT_GE(e.time_s, prev);
+    prev = e.time_s;
+  }
+}
+
+}  // namespace
+}  // namespace p4iot::sdn

@@ -1,0 +1,249 @@
+// p4iotc — command-line front end for the p4iot library.
+//
+//   p4iotc generate --dataset wifi_ip --seed 42 --duration 120 --out cap.trc
+//   p4iotc train    --trace cap.trc --fields 4 --out model.bin [--p4 fw.p4]
+//   p4iotc eval     --model model.bin --trace cap.trc
+//   p4iotc inspect  --model model.bin
+//   p4iotc convert  --trace cap.trc --pcap-prefix cap
+//
+// Exit status: 0 on success, 1 on usage errors, 2 on I/O / data errors.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "core/evaluation.h"
+#include "core/pipeline.h"
+#include "core/serialize.h"
+#include "packet/dissect.h"
+#include "packet/pcap.h"
+#include "packet/trace.h"
+#include "trafficgen/datasets.h"
+
+namespace {
+
+using namespace p4iot;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        error_ = std::string("expected --option, got: ") + argv[i];
+        return;
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0)
+      error_ = std::string("option missing a value: ") + argv[argc - 1];
+  }
+
+  const std::string& error() const noexcept { return error_; }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? std::nullopt : std::optional<std::string>(it->second);
+  }
+  std::string get_or(const std::string& key, std::string fallback) const {
+    return get(key).value_or(std::move(fallback));
+  }
+  double number_or(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::atof(v->c_str()) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::string error_;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: p4iotc <command> [--option value ...]\n"
+               "  generate --dataset wifi_ip|zigbee|ble|mixed --out FILE.trc\n"
+               "           [--seed N] [--duration SECONDS] [--devices N]\n"
+               "  train    --trace FILE.trc --out MODEL.bin\n"
+               "           [--fields K] [--p4 FILE.p4] [--rules FILE.txt]\n"
+               "  eval     --model MODEL.bin --trace FILE.trc\n"
+               "  inspect  --model MODEL.bin\n"
+               "  convert  --trace FILE.trc --pcap-prefix PREFIX\n");
+  return 1;
+}
+
+std::optional<gen::DatasetId> parse_dataset(const std::string& name) {
+  for (const auto id : gen::all_datasets())
+    if (name == gen::dataset_name(id)) return id;
+  return std::nullopt;
+}
+
+int cmd_generate(const Args& args) {
+  const auto dataset_name = args.get("dataset");
+  const auto out = args.get("out");
+  if (!dataset_name || !out) return usage();
+  const auto id = parse_dataset(*dataset_name);
+  if (!id) {
+    std::fprintf(stderr, "unknown dataset: %s\n", dataset_name->c_str());
+    return 1;
+  }
+
+  gen::DatasetOptions options;
+  options.seed = static_cast<std::uint64_t>(args.number_or("seed", 42));
+  options.duration_s = args.number_or("duration", 120.0);
+  options.benign_devices = static_cast<int>(args.number_or("devices", 10));
+
+  const auto trace = gen::make_dataset(*id, options);
+  if (!pkt::write_trace(trace, *out)) {
+    std::fprintf(stderr, "cannot write %s\n", out->c_str());
+    return 2;
+  }
+  const auto stats = trace.stats();
+  std::printf("wrote %s: %zu packets, %.1f%% attack, %.0fs\n", out->c_str(),
+              stats.packets, 100.0 * stats.attack_fraction(), stats.duration_s);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  const auto trace_path = args.get("trace");
+  const auto out = args.get("out");
+  if (!trace_path || !out) return usage();
+  const auto trace = pkt::read_trace(*trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", trace_path->c_str());
+    return 2;
+  }
+
+  const auto k = static_cast<std::size_t>(args.number_or("fields", 4));
+  core::TwoStagePipeline pipeline(core::PipelineConfig::with_fields(k));
+  pipeline.fit(*trace);
+  if (!pipeline.trained()) {
+    std::fprintf(stderr, "training produced no usable model\n");
+    return 2;
+  }
+  if (!core::save_pipeline(pipeline, *out)) {
+    std::fprintf(stderr, "cannot write model %s\n", out->c_str());
+    return 2;
+  }
+
+  std::printf("trained on %zu packets in %.2fs: %zu fields, %zu rules, %zu TCAM bits\n",
+              trace->size(), pipeline.timings().total_seconds,
+              pipeline.selection().fields.size(), pipeline.rules().entries.size(),
+              pipeline.rules().tcam_bits);
+  std::printf("model written to %s\n", out->c_str());
+
+  if (const auto p4_path = args.get("p4")) {
+    std::ofstream(*p4_path) << pipeline.p4_source();
+    std::printf("P4 program written to %s\n", p4_path->c_str());
+  }
+  if (const auto rules_path = args.get("rules")) {
+    std::ofstream(*rules_path) << pipeline.runtime_commands();
+    std::printf("runtime commands written to %s\n", rules_path->c_str());
+  }
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  const auto model_path = args.get("model");
+  const auto trace_path = args.get("trace");
+  if (!model_path || !trace_path) return usage();
+  const auto pipeline = core::load_pipeline(*model_path);
+  if (!pipeline) {
+    std::fprintf(stderr, "cannot load model %s\n", model_path->c_str());
+    return 2;
+  }
+  const auto trace = pkt::read_trace(*trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", trace_path->c_str());
+    return 2;
+  }
+
+  const auto cm = core::evaluate_pipeline(*pipeline, *trace);
+  std::printf("%s\n", cm.summary().c_str());
+
+  // Per-attack breakdown (requires labels in the trace).
+  std::size_t per_attack_total[pkt::kNumAttackTypes] = {};
+  std::size_t per_attack_caught[pkt::kNumAttackTypes] = {};
+  for (const auto& p : trace->packets()) {
+    if (!p.is_attack()) continue;
+    const auto idx = static_cast<std::size_t>(p.attack);
+    ++per_attack_total[idx];
+    per_attack_caught[idx] += pipeline->predict(p) ? 1 : 0;
+  }
+  for (int a = 1; a < pkt::kNumAttackTypes; ++a) {
+    if (per_attack_total[a] == 0) continue;
+    std::printf("  %-14s %zu/%zu\n",
+                pkt::attack_type_name(static_cast<pkt::AttackType>(a)),
+                per_attack_caught[a], per_attack_total[a]);
+  }
+  return 0;
+}
+
+int cmd_inspect(const Args& args) {
+  const auto model_path = args.get("model");
+  if (!model_path) return usage();
+  const auto pipeline = core::load_pipeline(*model_path);
+  if (!pipeline) {
+    std::fprintf(stderr, "cannot load model %s\n", model_path->c_str());
+    return 2;
+  }
+
+  std::printf("model %s\n", model_path->c_str());
+  std::printf("  window: %zu bytes\n", pipeline->rules().program.parser.window_bytes);
+  std::printf("  fields (%zu):\n", pipeline->selection().fields.size());
+  for (const auto& f : pipeline->selection().fields)
+    std::printf("    offset %zu width %zu saliency %.4f\n", f.offset, f.width,
+                f.saliency);
+  std::printf("  rules: %zu entries, %zu TCAM bits, default %s\n",
+              pipeline->rules().entries.size(), pipeline->rules().tcam_bits,
+              p4::action_op_name(pipeline->rules().program.default_action));
+  std::printf("  stage-2 tree: %zu nodes\n", pipeline->rules().tree.nodes().size());
+  return 0;
+}
+
+int cmd_convert(const Args& args) {
+  const auto trace_path = args.get("trace");
+  const auto prefix = args.get("pcap-prefix");
+  if (!trace_path || !prefix) return usage();
+  const auto trace = pkt::read_trace(*trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", trace_path->c_str());
+    return 2;
+  }
+  for (const auto link : {pkt::LinkType::kEthernet, pkt::LinkType::kIeee802154,
+                          pkt::LinkType::kBleLinkLayer}) {
+    const std::string path =
+        *prefix + "_" + pkt::link_type_name(link) + ".pcap";
+    const auto written = pkt::write_pcap(*trace, link, path);
+    if (!written) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 2;
+    }
+    if (*written == 0) {
+      std::remove(path.c_str());
+      continue;
+    }
+    std::printf("wrote %s (%zu packets)\n", path.c_str(), *written);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (!args.error().empty()) {
+    std::fprintf(stderr, "%s\n", args.error().c_str());
+    return usage();
+  }
+
+  if (command == "generate") return cmd_generate(args);
+  if (command == "train") return cmd_train(args);
+  if (command == "eval") return cmd_eval(args);
+  if (command == "inspect") return cmd_inspect(args);
+  if (command == "convert") return cmd_convert(args);
+  return usage();
+}
