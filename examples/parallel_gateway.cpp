@@ -1,0 +1,67 @@
+// Parallel gateway: the batched multi-worker data-plane engine serving a
+// heavy traffic stream — flow-verdict cache in front of the TCAM scan,
+// packets sharded to worker replicas by flow key, statistics merged on read.
+//
+//   $ ./parallel_gateway
+#include <cstdio>
+
+#include "common/stopwatch.h"
+#include "core/pipeline.h"
+#include "p4/engine.h"
+#include "trafficgen/datasets.h"
+
+int main() {
+  using namespace p4iot;
+
+  // 1. Train the two-stage pipeline on a labelled capture.
+  gen::DatasetOptions options;
+  options.seed = 7;
+  options.duration_s = 30.0;
+  const pkt::Trace trace = gen::make_dataset(gen::DatasetId::kWifiIp, options);
+  common::Rng rng(1);
+  const auto [train, test] = trace.split(0.7, rng);
+
+  core::TwoStagePipeline pipeline(core::PipelineConfig::with_fields(4));
+  pipeline.fit(train);
+  std::printf("trained: %zu rules over %zu selected fields\n",
+              pipeline.rules().entries.size(),
+              pipeline.rules().program.parser.fields.size());
+
+  // 2. Stand up the engine: 4 worker replicas, per-worker flow cache.
+  p4::EngineConfig config;
+  config.workers = 4;
+  auto engine = pipeline.make_engine(config);
+
+  // 3. Serve a sustained stream in batches, as a gateway event loop would.
+  std::vector<pkt::Packet> batch;
+  batch.reserve(8192);
+  std::vector<p4::Verdict> verdicts;
+  common::Stopwatch timer;
+  std::size_t served = 0;
+  for (int round = 0; round < 32; ++round) {
+    batch.clear();
+    for (std::size_t i = 0; i < 8192; ++i)
+      batch.push_back(test[(served + i) % test.size()]);
+    engine->process_batch(batch, verdicts);
+    served += batch.size();
+  }
+  const double seconds = timer.elapsed_seconds();
+
+  // 4. Per-worker shards merge into one view on read.
+  const auto stats = engine->stats();
+  const auto cache = engine->flow_cache_stats();
+  std::printf("\nserved %zu packets in %.3fs -> %.0f pkts/sec across %zu workers\n",
+              served, seconds, static_cast<double>(served) / seconds,
+              engine->worker_count());
+  std::printf("verdicts: %llu permitted, %llu dropped, %llu mirrored\n",
+              static_cast<unsigned long long>(stats.permitted),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.mirrored));
+  std::printf("flow cache: %.1f%% hit rate (%llu hits, %llu misses)\n",
+              100.0 * cache.hit_rate(), static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+  for (std::size_t w = 0; w < engine->worker_count(); ++w)
+    std::printf("  worker %zu: %llu packets\n", w,
+                static_cast<unsigned long long>(engine->worker(w).stats().packets));
+  return 0;
+}

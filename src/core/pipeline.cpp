@@ -21,11 +21,10 @@ void TwoStagePipeline::fit(const pkt::Trace& train) {
   timings_.total_seconds = total.elapsed_seconds();
 }
 
-int TwoStagePipeline::predict(const pkt::Packet& packet) const {
-  if (!trained()) return 0;
-  const auto values = rules_.program.parser.extract(packet.view());
+namespace {
+int predict_values(const SynthesizedRules& rules, std::span<const std::uint64_t> values) {
   // Evaluate entries exactly as the table would (priority order).
-  for (const auto& entry : rules_.entries) {
+  for (const auto& entry : rules.entries) {
     bool match = true;
     for (std::size_t i = 0; i < entry.fields.size() && i < values.size(); ++i) {
       if ((values[i] & entry.fields[i].mask) != entry.fields[i].value) {
@@ -35,7 +34,33 @@ int TwoStagePipeline::predict(const pkt::Packet& packet) const {
     }
     if (match) return entry.action == p4::ActionOp::kDrop ? 1 : 0;
   }
-  return rules_.program.default_action == p4::ActionOp::kDrop ? 1 : 0;
+  return rules.program.default_action == p4::ActionOp::kDrop ? 1 : 0;
+}
+}  // namespace
+
+int TwoStagePipeline::predict(const pkt::Packet& packet) const {
+  if (!trained()) return 0;
+  const auto values = rules_.program.parser.extract(packet.view());
+  return predict_values(rules_, values);
+}
+
+std::vector<int> TwoStagePipeline::predict_batch(
+    std::span<const pkt::Packet> packets) const {
+  std::vector<int> out(packets.size(), 0);
+  if (!trained()) return out;
+  p4::FlowVerdictCache cache;
+  std::vector<std::uint64_t> values;
+  for (std::size_t i = 0; i < packets.size(); ++i) {
+    rules_.program.parser.extract_into(packets[i].view(), values);
+    if (const p4::LookupResult* hit = cache.find(values)) {
+      out[i] = hit->action == p4::ActionOp::kDrop ? 1 : 0;
+      continue;
+    }
+    out[i] = predict_values(rules_, values);
+    // Memoize through the cache's LookupResult shape (entry index unused).
+    cache.insert(values, {out[i] ? p4::ActionOp::kDrop : p4::ActionOp::kPermit, 0});
+  }
+  return out;
 }
 
 double TwoStagePipeline::score(const pkt::Packet& packet) const {
@@ -51,6 +76,13 @@ p4::P4Switch TwoStagePipeline::make_switch(std::size_t table_capacity) const {
   p4::P4Switch sw(rules_.program, table_capacity);
   sw.install_rules(rules_.entries);
   return sw;
+}
+
+std::unique_ptr<p4::DataplaneEngine> TwoStagePipeline::make_engine(
+    p4::EngineConfig config) const {
+  auto engine = std::make_unique<p4::DataplaneEngine>(rules_.program, config);
+  engine->install_rules(rules_.entries);
+  return engine;
 }
 
 p4::TableWriteStatus TwoStagePipeline::install(p4::P4Switch& sw) const {

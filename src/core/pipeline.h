@@ -9,10 +9,12 @@
 // packet) so experiments can compare it head-to-head with the baselines.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "core/field_selection.h"
 #include "core/rule_synthesis.h"
+#include "p4/engine.h"
 #include "p4/switch.h"
 
 namespace p4iot::core {
@@ -60,6 +62,9 @@ class TwoStagePipeline {
 
   /// Data-plane-equivalent verdict for one packet (rule-set peek).
   int predict(const pkt::Packet& packet) const;
+  /// Bulk predict: same verdicts as per-packet predict(), but with shared
+  /// parser scratch and a flow-verdict cache over the rule scan.
+  std::vector<int> predict_batch(std::span<const pkt::Packet> packets) const;
   /// Soft score from the stage-2 tree (for ROC analysis).
   double score(const pkt::Packet& packet) const;
 
@@ -70,6 +75,9 @@ class TwoStagePipeline {
 
   /// Build a switch running this pipeline's program with rules installed.
   p4::P4Switch make_switch(std::size_t table_capacity = 1024) const;
+  /// Build a sharded multi-worker engine running this pipeline's program
+  /// with rules installed on every replica (see p4/engine.h).
+  std::unique_ptr<p4::DataplaneEngine> make_engine(p4::EngineConfig config = {}) const;
   /// Install program rules into an existing switch (replaces entries).
   p4::TableWriteStatus install(p4::P4Switch& sw) const;
 

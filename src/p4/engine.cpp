@@ -1,0 +1,202 @@
+#include "p4/engine.h"
+
+#include <algorithm>
+
+namespace p4iot::p4 {
+
+DataplaneEngine::DataplaneEngine(P4Program program, EngineConfig config) {
+  std::size_t n = config.workers;
+  if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(program, config.table_capacity));
+    if (config.flow_cache_capacity > 0)
+      workers_.back()->sw.enable_flow_cache(config.flow_cache_capacity);
+  }
+  rebuild_shard_fields();
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+DataplaneEngine::~DataplaneEngine() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void DataplaneEngine::rebuild_shard_fields() {
+  shard_fields_ = workers_[0]->sw.program().parser.fields;
+  if (const RateGuard* guard = workers_[0]->sw.rate_guard()) {
+    for (const auto& f : guard->spec().key_fields) shard_fields_.push_back(f);
+  }
+}
+
+std::size_t DataplaneEngine::shard_of(const pkt::Packet& packet) const noexcept {
+  // FNV-1a over the flow-identity bytes (zero-padded past the frame end,
+  // matching parser semantics): equal flow keys → equal shard.
+  const auto frame = packet.view();
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& f : shard_fields_) {
+    for (std::size_t i = 0; i < f.width; ++i) {
+      const std::size_t pos = f.offset + i;
+      const std::uint8_t b = pos < frame.size() ? frame[pos] : 0;
+      h = (h ^ b) * 1099511628211ULL;
+    }
+  }
+  return static_cast<std::size_t>(h % workers_.size());
+}
+
+void DataplaneEngine::worker_main(std::size_t worker_index) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    Worker& w = *workers_[worker_index];
+    for (const std::size_t idx : w.indices) (*out_)[idx] = w.sw.process(batch_[idx]);
+    {
+      std::lock_guard lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_one();
+    }
+  }
+}
+
+std::vector<Verdict> DataplaneEngine::process_batch(std::span<const pkt::Packet> batch) {
+  std::vector<Verdict> verdicts;
+  process_batch(batch, verdicts);
+  return verdicts;
+}
+
+void DataplaneEngine::process_batch(std::span<const pkt::Packet> batch,
+                                    std::vector<Verdict>& out) {
+  out.resize(batch.size());
+  if (batch.empty()) return;
+
+  for (auto& w : workers_) w->indices.clear();
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    workers_[shard_of(batch[i])]->indices.push_back(i);
+
+  {
+    std::lock_guard lock(mutex_);
+    batch_ = batch;
+    out_ = &out;
+    pending_ = workers_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  {
+    std::unique_lock lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+
+  // Deliver mirrored packets on the caller's thread, in worker order.
+  if (mirror_) {
+    for (auto& w : workers_) {
+      for (const auto& p : w->mirrored) mirror_(p);
+      w->mirrored.clear();
+    }
+  }
+}
+
+TableWriteStatus DataplaneEngine::install_entry(const TableEntry& entry) {
+  TableWriteStatus status = TableWriteStatus::kOk;
+  for (auto& w : workers_) {
+    const auto s = w->sw.install_entry(entry);
+    if (s != TableWriteStatus::kOk) status = s;
+  }
+  return status;
+}
+
+TableWriteStatus DataplaneEngine::install_rules(const std::vector<TableEntry>& entries) {
+  TableWriteStatus status = TableWriteStatus::kOk;
+  for (auto& w : workers_) {
+    const auto s = w->sw.install_rules(entries);
+    if (s != TableWriteStatus::kOk) status = s;
+  }
+  return status;
+}
+
+void DataplaneEngine::set_default_action(ActionOp action) {
+  for (auto& w : workers_) w->sw.set_default_action(action);
+}
+
+void DataplaneEngine::clear_rules() {
+  for (auto& w : workers_) w->sw.clear_rules();
+}
+
+void DataplaneEngine::set_rate_guard(const RateGuardSpec& spec) {
+  for (auto& w : workers_) w->sw.set_rate_guard(spec);
+  rebuild_shard_fields();
+}
+
+void DataplaneEngine::clear_rate_guard() {
+  for (auto& w : workers_) w->sw.clear_rate_guard();
+  rebuild_shard_fields();
+}
+
+void DataplaneEngine::set_mirror_handler(P4Switch::MirrorHandler handler) {
+  mirror_ = std::move(handler);
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    if (mirror_) {
+      w->sw.set_mirror_handler([w](const pkt::Packet& p) { w->mirrored.push_back(p); });
+    } else {
+      w->sw.set_mirror_handler(nullptr);
+    }
+  }
+}
+
+SwitchStats DataplaneEngine::stats() const {
+  SwitchStats merged;
+  for (const auto& w : workers_) {
+    const auto& s = w->sw.stats();
+    merged.packets += s.packets;
+    merged.permitted += s.permitted;
+    merged.dropped += s.dropped;
+    merged.mirrored += s.mirrored;
+    merged.rate_guard_drops += s.rate_guard_drops;
+    merged.bytes_in += s.bytes_in;
+    merged.bytes_forwarded += s.bytes_forwarded;
+    for (std::size_t c = 0; c < 16; ++c) merged.drops_by_class[c] += s.drops_by_class[c];
+  }
+  return merged;
+}
+
+std::uint64_t DataplaneEngine::hit_count(std::size_t entry_index) const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->sw.table().hit_count(entry_index);
+  return total;
+}
+
+std::uint64_t DataplaneEngine::default_hits() const {
+  std::uint64_t total = 0;
+  for (const auto& w : workers_) total += w->sw.table().default_hits();
+  return total;
+}
+
+FlowCacheStats DataplaneEngine::flow_cache_stats() const {
+  FlowCacheStats merged;
+  for (const auto& w : workers_) {
+    if (const FlowVerdictCache* cache = w->sw.flow_cache()) {
+      merged.hits += cache->stats().hits;
+      merged.misses += cache->stats().misses;
+      merged.insertions += cache->stats().insertions;
+      merged.invalidations += cache->stats().invalidations;
+    }
+  }
+  return merged;
+}
+
+void DataplaneEngine::reset_stats() {
+  for (auto& w : workers_) w->sw.reset_stats();
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,108 @@
+// Multi-worker data-plane engine: RSS-style sharded packet processing.
+//
+// A single P4Switch is a faithful per-packet model, but a gateway serving
+// heavy traffic runs one pipeline replica per core with receive-side scaling:
+// packets are sharded to workers by a hash of their flow key, so all packets
+// of one flow hit the same replica (keeping per-flow state — the rate-guard
+// sketch, the flow-verdict cache — worker-local and race-free). Statistics
+// live in per-worker shards and are merged on read; the hot path never takes
+// a lock or touches an atomic.
+//
+// The shard key hashes the bytes of the program's parser fields (the flow
+// identity the table matches on) plus, when a rate guard is configured, the
+// guard's key fields — so both the table verdict and the guard's per-key
+// rate counting see exactly the packets a sequential switch would.
+//
+// Rule-management calls fan out to every replica and must not run
+// concurrently with process_batch() (same contract as a real switch's
+// control plane: table writes are serialized against the dataplane).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "p4/switch.h"
+
+namespace p4iot::p4 {
+
+struct EngineConfig {
+  /// Worker replica count; 0 = one per hardware thread.
+  std::size_t workers = 0;
+  std::size_t table_capacity = 1024;
+  /// Per-worker flow-verdict cache slots; 0 disables the cache.
+  std::size_t flow_cache_capacity = 4096;
+};
+
+class DataplaneEngine {
+ public:
+  explicit DataplaneEngine(P4Program program, EngineConfig config = {});
+  ~DataplaneEngine();
+
+  DataplaneEngine(const DataplaneEngine&) = delete;
+  DataplaneEngine& operator=(const DataplaneEngine&) = delete;
+
+  /// Shard `batch` across the workers and block until every verdict is in;
+  /// verdicts come back in packet order.
+  std::vector<Verdict> process_batch(std::span<const pkt::Packet> batch);
+  void process_batch(std::span<const pkt::Packet> batch, std::vector<Verdict>& out);
+
+  /// Runtime API — fans out to every replica (not concurrent-safe with
+  /// process_batch; see header comment).
+  TableWriteStatus install_entry(const TableEntry& entry);
+  TableWriteStatus install_rules(const std::vector<TableEntry>& entries);
+  void set_default_action(ActionOp action);
+  void clear_rules();
+  void set_rate_guard(const RateGuardSpec& spec);
+  void clear_rate_guard();
+
+  /// Mirror handler: mirrored packets are collected worker-locally during
+  /// the batch and delivered on the calling thread after it completes.
+  void set_mirror_handler(P4Switch::MirrorHandler handler);
+
+  /// Per-worker SwitchStats shards merged on read.
+  SwitchStats stats() const;
+  /// Merged per-entry hit counters (replicas hold identical entry order).
+  std::uint64_t hit_count(std::size_t entry_index) const;
+  std::uint64_t default_hits() const;
+  /// Merged flow-cache counters (all zero when the cache is disabled).
+  FlowCacheStats flow_cache_stats() const;
+  void reset_stats();
+
+  std::size_t worker_count() const noexcept { return workers_.size(); }
+  const P4Switch& worker(std::size_t i) const { return workers_[i]->sw; }
+  const P4Program& program() const noexcept { return workers_[0]->sw.program(); }
+
+ private:
+  struct Worker {
+    explicit Worker(P4Program program, std::size_t capacity)
+        : sw(std::move(program), capacity) {}
+    P4Switch sw;
+    std::vector<std::size_t> indices;   ///< packet indices of this shard
+    std::vector<pkt::Packet> mirrored;  ///< drained post-batch
+  };
+
+  std::size_t shard_of(const pkt::Packet& packet) const noexcept;
+  void worker_main(std::size_t worker_index);
+  void rebuild_shard_fields();
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<FieldRef> shard_fields_;  ///< parser fields (+ guard keys)
+  P4Switch::MirrorHandler mirror_;
+
+  // Batch hand-off state (guarded by mutex_).
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::uint64_t generation_ = 0;
+  std::size_t pending_ = 0;
+  bool stop_ = false;
+  std::span<const pkt::Packet> batch_;
+  std::vector<Verdict>* out_ = nullptr;
+};
+
+}  // namespace p4iot::p4

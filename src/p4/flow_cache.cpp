@@ -1,0 +1,65 @@
+#include "p4/flow_cache.h"
+
+#include <algorithm>
+
+namespace p4iot::p4 {
+
+namespace {
+std::size_t round_up_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+FlowVerdictCache::FlowVerdictCache(std::size_t capacity)
+    : slots_(round_up_pow2(std::max<std::size_t>(capacity, 2))) {
+  mask_ = slots_.size() - 1;
+}
+
+std::uint64_t FlowVerdictCache::hash(std::span<const std::uint64_t> key) noexcept {
+  std::uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (const auto v : key) h = splitmix64(h ^ v);
+  return h;
+}
+
+const LookupResult* FlowVerdictCache::find(std::span<const std::uint64_t> key) noexcept {
+  if (key.size() > kMaxKeyFields) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  const Slot& slot = slots_[hash(key) & mask_];
+  if (slot.valid && slot.key_count == key.size() &&
+      std::equal(key.begin(), key.end(), slot.key.begin())) {
+    ++stats_.hits;
+    return &slot.result;
+  }
+  ++stats_.misses;
+  return nullptr;
+}
+
+void FlowVerdictCache::insert(std::span<const std::uint64_t> key,
+                              const LookupResult& result) noexcept {
+  if (key.size() > kMaxKeyFields) return;
+  Slot& slot = slots_[hash(key) & mask_];
+  std::copy(key.begin(), key.end(), slot.key.begin());
+  slot.key_count = static_cast<std::uint8_t>(key.size());
+  slot.result = result;
+  slot.valid = true;
+  ++stats_.insertions;
+}
+
+void FlowVerdictCache::invalidate(std::uint64_t epoch) noexcept {
+  for (auto& slot : slots_) slot.valid = false;
+  epoch_ = epoch;
+  ++stats_.invalidations;
+}
+
+}  // namespace p4iot::p4

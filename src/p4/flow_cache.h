@@ -1,0 +1,79 @@
+// Exact-match flow-verdict cache fronting the TCAM priority scan.
+//
+// Real software switches (OVS megaflow cache, VPP flow cache) do not run the
+// full classifier pipeline per packet: the first packet of a flow takes the
+// slow path (here: the priority-ordered linear scan of ternary entries) and
+// its verdict is memoized under the flow's exact key, so every later packet
+// of the flow is a single hash probe. Our flow key is the tuple of values the
+// programmable parser extracts — two packets with equal extracted values are
+// indistinguishable to the table, so caching on that tuple is lossless.
+//
+// The cache is direct-mapped (one slot per hash bucket, newest wins): bounded
+// memory, no eviction bookkeeping on the hot path, and collisions only cost a
+// re-scan. It is keyed to a MatchActionTable::version() epoch — any rule
+// mutation moves the version and the owning switch drops the whole cache.
+// The stateful rate guard is NOT cached: it runs per packet behind the cache,
+// because memoizing a post-guard verdict would stop the sketch from counting
+// (rate is a property of the packet stream, not of any single packet).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "p4/table.h"
+
+namespace p4iot::p4 {
+
+struct FlowCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t insertions = 0;
+  std::uint64_t invalidations = 0;  ///< whole-cache drops on rule changes
+
+  double hit_rate() const noexcept {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total) : 0.0;
+  }
+};
+
+class FlowVerdictCache {
+ public:
+  /// Keys wider than this many extracted fields bypass the cache entirely.
+  static constexpr std::size_t kMaxKeyFields = 8;
+
+  /// `capacity` is rounded up to a power of two (slot count).
+  explicit FlowVerdictCache(std::size_t capacity = 4096);
+
+  /// Probe the cache; nullptr on miss (also counts the probe in stats).
+  const LookupResult* find(std::span<const std::uint64_t> key) noexcept;
+  /// Memoize a slow-path result (no-op for keys wider than kMaxKeyFields).
+  void insert(std::span<const std::uint64_t> key, const LookupResult& result) noexcept;
+
+  /// Drop every entry and adopt `epoch` (the table version the next fills
+  /// will be valid for).
+  void invalidate(std::uint64_t epoch) noexcept;
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  std::size_t capacity() const noexcept { return slots_.size(); }
+  const FlowCacheStats& stats() const noexcept { return stats_; }
+  void reset_stats() noexcept { stats_ = {}; }
+
+ private:
+  struct Slot {
+    std::array<std::uint64_t, kMaxKeyFields> key{};
+    std::uint8_t key_count = 0;
+    bool valid = false;
+    LookupResult result;
+  };
+
+  static std::uint64_t hash(std::span<const std::uint64_t> key) noexcept;
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::uint64_t epoch_ = 0;
+  FlowCacheStats stats_;
+};
+
+}  // namespace p4iot::p4

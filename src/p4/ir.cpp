@@ -25,8 +25,15 @@ const char* action_op_name(ActionOp op) noexcept {
 
 std::vector<std::uint64_t> ParserSpec::extract(std::span<const std::uint8_t> frame) const {
   std::vector<std::uint64_t> values;
-  values.reserve(fields.size());
-  for (const auto& f : fields) {
+  extract_into(frame, values);
+  return values;
+}
+
+void ParserSpec::extract_into(std::span<const std::uint8_t> frame,
+                              std::vector<std::uint64_t>& out) const {
+  out.resize(fields.size());
+  for (std::size_t n = 0; n < fields.size(); ++n) {
+    const auto& f = fields[n];
     // Zero-padded read: bytes past the end of the frame contribute zeros,
     // consistent with the zero-filled header window the models trained on.
     std::uint64_t v = 0;
@@ -34,9 +41,8 @@ std::vector<std::uint64_t> ParserSpec::extract(std::span<const std::uint8_t> fra
       const std::size_t pos = f.offset + i;
       v = (v << 8) | (pos < frame.size() ? frame[pos] : 0);
     }
-    values.push_back(v);
+    out[n] = v;
   }
-  return values;
 }
 
 }  // namespace p4iot::p4

@@ -71,6 +71,10 @@ struct ParserSpec {
   /// Extract all field values from a frame (zero-padded reads past the end,
   /// matching the zero-filled header window semantics of the pipeline).
   std::vector<std::uint64_t> extract(std::span<const std::uint8_t> frame) const;
+  /// Allocation-free variant for per-packet hot paths: `out` is resized to
+  /// the field count and overwritten.
+  void extract_into(std::span<const std::uint8_t> frame,
+                    std::vector<std::uint64_t>& out) const;
 };
 
 /// Complete firewall program: parser + one table + default action.

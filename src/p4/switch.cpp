@@ -6,9 +6,29 @@ P4Switch::P4Switch(P4Program program, std::size_t table_capacity)
     : program_(std::move(program)),
       table_("firewall", program_.keys, table_capacity, program_.default_action) {}
 
+void P4Switch::enable_flow_cache(std::size_t capacity) {
+  flow_cache_ = std::make_unique<FlowVerdictCache>(capacity);
+  flow_cache_->invalidate(table_.version());  // adopt the current rule epoch
+}
+
+LookupResult P4Switch::lookup_cached(std::span<const std::uint64_t> values) {
+  if (!flow_cache_) return table_.lookup(values);
+  if (flow_cache_->epoch() != table_.version())
+    flow_cache_->invalidate(table_.version());
+  if (const LookupResult* hit = flow_cache_->find(values)) {
+    // Keep counters bit-identical to the scan path: credit the memoized
+    // entry (or the default action) without walking the entries.
+    table_.record_hit(hit->entry_index);
+    return *hit;
+  }
+  const LookupResult result = table_.lookup(values);
+  flow_cache_->insert(values, result);
+  return result;
+}
+
 Verdict P4Switch::process(const pkt::Packet& packet) {
-  const auto values = program_.parser.extract(packet.view());
-  auto result = table_.lookup(values);
+  program_.parser.extract_into(packet.view(), scratch_values_);
+  auto result = lookup_cached(scratch_values_);
   std::uint8_t attack_class =
       result.entry_index >= 0
           ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
@@ -44,6 +64,17 @@ Verdict P4Switch::process(const pkt::Packet& packet) {
   return {result.action, result.entry_index, attack_class};
 }
 
+std::vector<Verdict> P4Switch::process_batch(std::span<const pkt::Packet> batch) {
+  std::vector<Verdict> verdicts(batch.size());
+  process_batch(batch, verdicts);
+  return verdicts;
+}
+
+void P4Switch::process_batch(std::span<const pkt::Packet> batch,
+                             std::span<Verdict> out) {
+  for (std::size_t i = 0; i < batch.size(); ++i) out[i] = process(batch[i]);
+}
+
 Verdict P4Switch::peek(const pkt::Packet& packet) const {
   const auto values = program_.parser.extract(packet.view());
   const auto result = table_.peek(values);
@@ -58,6 +89,7 @@ void P4Switch::reset_stats() {
   stats_ = {};
   table_.reset_counters();
   if (rate_guard_) rate_guard_->reset();
+  if (flow_cache_) flow_cache_->reset_stats();
 }
 
 }  // namespace p4iot::p4

@@ -67,6 +67,7 @@ TableWriteStatus MatchActionTable::add_entry(TableEntry entry) {
   const auto idx = static_cast<std::size_t>(pos - entries_.begin());
   entries_.insert(pos, std::move(entry));
   hits_.insert(hits_.begin() + static_cast<std::ptrdiff_t>(idx), 0);
+  ++version_;
   return TableWriteStatus::kOk;
 }
 
@@ -74,6 +75,7 @@ bool MatchActionTable::remove_entry(std::size_t index) {
   if (index >= entries_.size()) return false;
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
   hits_.erase(hits_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++version_;
   return true;
 }
 
@@ -81,6 +83,7 @@ void MatchActionTable::clear() {
   entries_.clear();
   hits_.clear();
   default_hits_ = 0;
+  ++version_;
 }
 
 TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entries) {
@@ -96,6 +99,7 @@ TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entri
   entries_ = std::move(entries);
   hits_.assign(entries_.size(), 0);
   default_hits_ = 0;
+  ++version_;
   return TableWriteStatus::kOk;
 }
 
@@ -137,6 +141,14 @@ LookupResult MatchActionTable::peek(std::span<const std::uint64_t> values) const
       return {entries_[i].action, static_cast<std::int64_t>(i)};
   }
   return {default_action_, -1};
+}
+
+void MatchActionTable::record_hit(std::int64_t entry_index) noexcept {
+  if (entry_index < 0) {
+    ++default_hits_;
+  } else if (static_cast<std::size_t>(entry_index) < hits_.size()) {
+    ++hits_[static_cast<std::size_t>(entry_index)];
+  }
 }
 
 std::uint64_t MatchActionTable::hit_count(std::size_t entry_index) const {

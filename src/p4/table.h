@@ -51,13 +51,27 @@ class MatchActionTable {
   LookupResult lookup(std::span<const std::uint64_t> values);
   /// Const lookup without counter updates (analysis passes).
   LookupResult peek(std::span<const std::uint64_t> values) const;
+  /// Credit a hit to `entry_index` (-1 = default action) without scanning —
+  /// used by the flow-verdict cache so cached hits keep the counters
+  /// identical to what a full priority scan would have recorded.
+  void record_hit(std::int64_t entry_index) noexcept;
+
+  /// Monotonic counter bumped by every successful mutation of the match
+  /// semantics (add/remove/replace/clear/default action). Caches key their
+  /// contents to a version and drop them when it moves.
+  std::uint64_t version() const noexcept { return version_; }
 
   const std::string& name() const noexcept { return name_; }
   const std::vector<KeySpec>& keys() const noexcept { return keys_; }
   std::size_t entry_count() const noexcept { return entries_.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
   ActionOp default_action() const noexcept { return default_action_; }
-  void set_default_action(ActionOp action) noexcept { default_action_ = action; }
+  void set_default_action(ActionOp action) noexcept {
+    if (action != default_action_) {
+      default_action_ = action;
+      ++version_;
+    }
+  }
 
   const std::vector<TableEntry>& entries() const noexcept { return entries_; }
   std::uint64_t hit_count(std::size_t entry_index) const;
@@ -80,6 +94,7 @@ class MatchActionTable {
   std::vector<TableEntry> entries_;       ///< kept sorted by priority desc
   std::vector<std::uint64_t> hits_;       ///< parallel to entries_
   std::uint64_t default_hits_ = 0;
+  std::uint64_t version_ = 0;             ///< see version()
 };
 
 }  // namespace p4iot::p4

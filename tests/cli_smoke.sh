@@ -5,7 +5,7 @@ P4IOTC="$1"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
-"$P4IOTC" generate --dataset wifi_ip --out "$DIR/cap.trc" --duration 30 --seed 9
+"$P4IOTC" generate --dataset wifi_ip --out "$DIR/cap.trc" --duration 8 --seed 9
 "$P4IOTC" train --trace "$DIR/cap.trc" --fields 4 --out "$DIR/model.bin" \
   --p4 "$DIR/fw.p4" --rules "$DIR/rules.txt"
 "$P4IOTC" eval --model "$DIR/model.bin" --trace "$DIR/cap.trc" | grep -q "acc="

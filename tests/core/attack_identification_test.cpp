@@ -13,8 +13,8 @@ namespace {
 std::pair<pkt::Trace, pkt::Trace> wifi_split() {
   gen::DatasetOptions options;
   options.seed = 61;
-  options.duration_s = 60.0;
-  options.benign_devices = 8;
+  options.duration_s = 30.0;
+  options.benign_devices = 6;
   const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, options);
   common::Rng rng(1);
   return trace.split(0.7, rng);
@@ -22,8 +22,10 @@ std::pair<pkt::Trace, pkt::Trace> wifi_split() {
 
 PipelineConfig fast_config() {
   auto config = PipelineConfig::with_fields(4);
-  config.stage1.probe.epochs = 8;
-  config.stage1.autoencoder.epochs = 6;
+  config.stage1.probe.epochs = 6;
+  config.stage1.probe.hidden_sizes = {24, 12};
+  config.stage1.autoencoder.epochs = 5;
+  config.stage1.autoencoder.encoder_sizes = {16, 8};
   return config;
 }
 

@@ -11,15 +11,17 @@ namespace {
 gen::DatasetOptions small_options() {
   gen::DatasetOptions options;
   options.seed = 21;
-  options.duration_s = 30.0;
+  options.duration_s = 15.0;
   options.benign_devices = 6;
   return options;
 }
 
 PipelineConfig fast_config(std::size_t k = 4) {
   auto config = PipelineConfig::with_fields(k);
-  config.stage1.probe.epochs = 8;
-  config.stage1.autoencoder.epochs = 6;
+  config.stage1.probe.epochs = 6;
+  config.stage1.probe.hidden_sizes = {24, 12};
+  config.stage1.autoencoder.epochs = 5;
+  config.stage1.autoencoder.encoder_sizes = {16, 8};
   return config;
 }
 
@@ -39,7 +41,7 @@ TEST(Pipeline, EndToEndWifiDetection) {
 
 TEST(Pipeline, SelectsAtMostKFields) {
   const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, small_options());
-  for (const std::size_t k : {1u, 2u, 4u}) {
+  for (const std::size_t k : {1u, 4u}) {
     TwoStagePipeline pipeline(fast_config(k));
     pipeline.fit(trace);
     EXPECT_LE(pipeline.selection().fields.size(), k);

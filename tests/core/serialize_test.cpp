@@ -12,9 +12,13 @@ namespace p4iot::core {
 namespace {
 
 TwoStagePipeline trained_pipeline(const pkt::Trace& train) {
+  // Serialization tests only compare a pipeline against its reloaded twin,
+  // so fit quality is irrelevant — the smallest trainable setup is fine.
   auto config = PipelineConfig::with_fields(4);
-  config.stage1.probe.epochs = 8;
-  config.stage1.autoencoder.epochs = 6;
+  config.stage1.probe.epochs = 5;
+  config.stage1.probe.hidden_sizes = {24, 12};
+  config.stage1.autoencoder.epochs = 4;
+  config.stage1.autoencoder.encoder_sizes = {16, 8};
   TwoStagePipeline pipeline(config);
   pipeline.fit(train);
   return pipeline;
@@ -23,7 +27,7 @@ TwoStagePipeline trained_pipeline(const pkt::Trace& train) {
 pkt::Trace small_trace() {
   gen::DatasetOptions options;
   options.seed = 31;
-  options.duration_s = 30.0;
+  options.duration_s = 12.0;
   options.benign_devices = 6;
   return gen::make_dataset(gen::DatasetId::kWifiIp, options);
 }

@@ -18,18 +18,21 @@ class EndToEnd : public ::testing::TestWithParam<gen::DatasetId> {};
 TEST_P(EndToEnd, TrainCompileInstallEnforce) {
   gen::DatasetOptions options;
   options.seed = 77;
-  options.duration_s = 40.0;
-  options.benign_devices = 8;
+  // Zigbee is sparse (few packets per second), so it needs a longer capture
+  // for a meaningful train/test split; the dense protocols stay short.
+  options.duration_s = GetParam() == gen::DatasetId::kZigbee ? 35.0 : 20.0;
+  options.benign_devices = 6;
   const auto trace = gen::make_dataset(GetParam(), options);
   ASSERT_GT(trace.size(), 200u);
 
   common::Rng rng(1);
   const auto [train, test] = trace.split(0.7, rng);
 
-  // Train the two-stage pipeline.
+  // Train the two-stage pipeline. Full-width probe: this test asserts
+  // detection quality across every protocol, so it keeps the default nets.
   auto config = core::PipelineConfig::with_fields(4);
-  config.stage1.probe.epochs = 10;
-  config.stage1.autoencoder.epochs = 8;
+  config.stage1.probe.epochs = 7;
+  config.stage1.autoencoder.epochs = 6;
   core::TwoStagePipeline pipeline(config);
   pipeline.fit(train);
   ASSERT_TRUE(pipeline.trained());
@@ -71,13 +74,14 @@ TEST(Integration, TwoStageBeatsFixedFieldOnNonIp) {
   // the byte-level pipeline keeps working.
   gen::DatasetOptions options;
   options.seed = 88;
-  options.duration_s = 60.0;
+  options.duration_s = 25.0;
   const auto trace = gen::make_dataset(gen::DatasetId::kZigbee, options);
   common::Rng rng(2);
   const auto [train, test] = trace.split(0.7, rng);
 
   auto config = core::PipelineConfig::with_fields(4);
-  config.stage1.probe.epochs = 10;
+  config.stage1.probe.epochs = 7;
+  config.stage1.probe.hidden_sizes = {24, 12};
   core::TwoStagePipeline pipeline(config);
   pipeline.fit(train);
   const auto ours = core::evaluate_pipeline(pipeline, test);
@@ -95,11 +99,12 @@ TEST(Integration, RulesAreFewAndNarrow) {
   // matching the whole 64-byte window.
   gen::DatasetOptions options;
   options.seed = 99;
-  options.duration_s = 40.0;
+  options.duration_s = 15.0;
   const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, options);
 
   auto config = core::PipelineConfig::with_fields(4);
-  config.stage1.probe.epochs = 8;
+  config.stage1.probe.epochs = 6;
+  config.stage1.probe.hidden_sizes = {24, 12};
   core::TwoStagePipeline pipeline(config);
   pipeline.fit(trace);
 
@@ -114,16 +119,19 @@ TEST(Integration, TraceFileRoundTripPreservesDetection) {
   // Save a dataset, reload it, and verify the pipeline behaves identically.
   gen::DatasetOptions options;
   options.seed = 55;
-  options.duration_s = 20.0;
+  options.duration_s = 10.0;
   const auto trace = gen::make_dataset(gen::DatasetId::kWifiIp, options);
   const std::string path = ::testing::TempDir() + "/p4iot_integration.trc";
   ASSERT_TRUE(pkt::write_trace(trace, path));
   const auto loaded = pkt::read_trace(path);
   ASSERT_TRUE(loaded.has_value());
 
+  // Only determinism across the file round trip matters here, not accuracy.
   auto config = core::PipelineConfig::with_fields(3);
-  config.stage1.probe.epochs = 6;
-  config.stage1.autoencoder.epochs = 5;
+  config.stage1.probe.epochs = 5;
+  config.stage1.probe.hidden_sizes = {24, 12};
+  config.stage1.autoencoder.epochs = 4;
+  config.stage1.autoencoder.encoder_sizes = {16, 8};
   core::TwoStagePipeline a(config), b(config);
   a.fit(trace);
   b.fit(*loaded);

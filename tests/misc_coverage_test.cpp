@@ -138,7 +138,10 @@ TEST(Controller, OracleDecliningLabelsDisablesDriftTracking) {
   auto drift = gen::ScenarioConfig::with_default_attacks(
       10, 30.0, {pkt::AttackType::kBruteForce}, 30.0);
   drift.benign_devices = 6;
-  for (const auto& p : gen::generate_wifi_trace(drift).packets()) controller.handle(p);
+  // Named variable: packets() returns a reference into the trace, and a
+  // temporary would not outlive the range-for in C++20.
+  const auto drift_trace = gen::generate_wifi_trace(drift);
+  for (const auto& p : drift_trace.packets()) controller.handle(p);
   EXPECT_EQ(controller.retrain_count(), 0u);
   EXPECT_DOUBLE_EQ(controller.current_miss_rate(), 0.0);
 }

@@ -171,6 +171,103 @@ TEST(MatchActionTable, ResetCountersClearsAll) {
   EXPECT_EQ(table.default_hits(), 0u);
 }
 
+// Regression tests for validate()'s width handling: width_mask() takes the
+// key width in BYTES (exact/ternary), is_prefix_mask() takes it in BITS
+// (lpm). These pin the 1-, 4- and 8-byte boundaries so a future unit mixup
+// (bytes passed where bits are meant, or vice versa) fails loudly.
+TEST(MatchActionTable, WidthValidationOneByteField) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"f", 0, 1}, MatchKind::kExact}};
+  MatchActionTable table("t", keys, 8);
+  TableEntry max_value;
+  max_value.fields = {MatchField{0xff, 0, 0, 0}};
+  EXPECT_EQ(table.add_entry(max_value), TableWriteStatus::kOk);
+  TableEntry too_wide;
+  too_wide.fields = {MatchField{0x100, 0, 0, 0}};
+  EXPECT_EQ(table.add_entry(too_wide), TableWriteStatus::kInvalidField);
+
+  std::vector<KeySpec> tkeys = {KeySpec{FieldRef{"f", 0, 1}, MatchKind::kTernary}};
+  MatchActionTable ternary("t", tkeys, 8);
+  TableEntry wide_mask;
+  wide_mask.fields = {MatchField{0, 0x1ff, 0, 0}};
+  EXPECT_EQ(ternary.add_entry(wide_mask), TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, WidthValidationFourByteField) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"addr", 0, 4}, MatchKind::kTernary}};
+  MatchActionTable table("t", keys, 8);
+  TableEntry full;
+  full.fields = {MatchField{0xffffffffULL, 0xffffffffULL, 0, 0}};
+  EXPECT_EQ(table.add_entry(full), TableWriteStatus::kOk);
+  TableEntry over;
+  over.fields = {MatchField{0x1'0000'0000ULL, 0x1'ffff'ffffULL, 0, 0}};
+  EXPECT_EQ(table.add_entry(over), TableWriteStatus::kInvalidField);
+
+  // LPM width is in bits: /32 on a 4-byte field is a valid full-length
+  // prefix, /33 (i.e. a mask spilling past 32 bits) is not.
+  std::vector<KeySpec> lkeys = {KeySpec{FieldRef{"addr", 0, 4}, MatchKind::kLpm}};
+  MatchActionTable lpm("t", lkeys, 8);
+  TableEntry slash32;
+  slash32.fields = {MatchField{0x0a000001ULL, 0xffffffffULL, 0, 0}};
+  EXPECT_EQ(lpm.add_entry(slash32), TableWriteStatus::kOk);
+  TableEntry spill;
+  spill.fields = {MatchField{0, 0x1'ffff'ffffULL, 0, 0}};
+  EXPECT_EQ(lpm.add_entry(spill), TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, WidthValidationEightByteField) {
+  // 8-byte fields fill the whole uint64 value path: the full mask must not
+  // overflow width_mask's shift (bytes >= 8 → ~0).
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"wide", 0, 8}, MatchKind::kTernary}};
+  MatchActionTable table("t", keys, 8);
+  TableEntry full;
+  full.fields = {MatchField{~0ULL, ~0ULL, 0, 0}};
+  EXPECT_EQ(table.add_entry(full), TableWriteStatus::kOk);
+
+  std::vector<KeySpec> lkeys = {KeySpec{FieldRef{"wide", 0, 8}, MatchKind::kLpm}};
+  MatchActionTable lpm("t", lkeys, 8);
+  TableEntry slash64;
+  slash64.fields = {MatchField{1, ~0ULL, 0, 0}};
+  EXPECT_EQ(lpm.add_entry(slash64), TableWriteStatus::kOk);
+  TableEntry slash16;
+  slash16.fields = {MatchField{0x1234ULL << 48, 0xffffULL << 48, 0, 0}};
+  EXPECT_EQ(lpm.add_entry(slash16), TableWriteStatus::kOk);
+  TableEntry gap;  // not left-contiguous within 64 bits
+  gap.fields = {MatchField{0, 0x00ff'0000'0000'0000ULL, 0, 0}};
+  EXPECT_EQ(lpm.add_entry(gap), TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, WidthValidationRangeBounds) {
+  std::vector<KeySpec> keys = {KeySpec{FieldRef{"len", 0, 1}, MatchKind::kRange}};
+  MatchActionTable table("t", keys, 8);
+  TableEntry in_range;
+  in_range.fields = {MatchField{0, 0, 0, 0xff}};
+  EXPECT_EQ(table.add_entry(in_range), TableWriteStatus::kOk);
+  TableEntry hi_too_wide;
+  hi_too_wide.fields = {MatchField{0, 0, 0, 0x100}};
+  EXPECT_EQ(table.add_entry(hi_too_wide), TableWriteStatus::kInvalidField);
+}
+
+TEST(MatchActionTable, VersionMovesOnEveryMutation) {
+  MatchActionTable table("t", two_keys(), 10);
+  const auto v0 = table.version();
+  table.add_entry(drop_entry(1, 0xffff, 0, 0));
+  const auto v1 = table.version();
+  EXPECT_GT(v1, v0);
+  table.lookup(std::vector<std::uint64_t>{1, 0});  // lookups do NOT move it
+  EXPECT_EQ(table.version(), v1);
+  table.set_default_action(ActionOp::kDrop);
+  const auto v2 = table.version();
+  EXPECT_GT(v2, v1);
+  table.remove_entry(0);
+  const auto v3 = table.version();
+  EXPECT_GT(v3, v2);
+  table.replace_entries({drop_entry(2, 0xffff, 0, 0)});
+  const auto v4 = table.version();
+  EXPECT_GT(v4, v3);
+  table.clear();
+  EXPECT_GT(table.version(), v4);
+}
+
 TEST(MatchActionTable, MissingValuesTreatedAsZero) {
   MatchActionTable table("t", two_keys(), 10);
   table.add_entry(drop_entry(0, 0xffff, 0, 0xff));

@@ -13,7 +13,9 @@ namespace {
 ControllerConfig fast_config() {
   ControllerConfig config;
   config.pipeline.stage1.probe.epochs = 6;
+  config.pipeline.stage1.probe.hidden_sizes = {24, 12};
   config.pipeline.stage1.autoencoder.epochs = 5;
+  config.pipeline.stage1.autoencoder.encoder_sizes = {16, 8};
   config.sample_probability = 0.5;
   config.retrain_min_samples = 200;
   config.drift_window = 100;
@@ -27,7 +29,7 @@ LabelOracle truth_oracle() {
 }
 
 pkt::Trace wifi_trace(std::vector<pkt::AttackType> attacks, std::uint64_t seed,
-                      double duration = 30.0) {
+                      double duration = 15.0) {
   auto cfg = gen::ScenarioConfig::with_default_attacks(seed, duration,
                                                        std::move(attacks), 30.0);
   cfg.benign_devices = 6;
@@ -81,11 +83,14 @@ TEST(Controller, NoRetrainWithoutDrift) {
 
 TEST(Controller, DriftTriggersRetrainAndRecovers) {
   // Bootstrap only knows SYN floods; the live trace adds brute force (a
-  // different header signature) → misses accumulate → retrain.
-  Controller controller(fast_config(), truth_oracle());
+  // different header signature) → misses accumulate → retrain. A wide gap
+  // keeps the number of (expensive) refits small.
+  auto config = fast_config();
+  config.min_retrain_gap_s = 8.0;
+  Controller controller(config, truth_oracle());
   ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 7)));
 
-  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 8, 60.0);
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 8, 25.0);
   for (const auto& p : live.packets()) controller.handle(p);
   EXPECT_GE(controller.retrain_count(), 1u);
 
@@ -112,17 +117,22 @@ TEST(Controller, MissRateReflectsRecentWindow) {
 TEST(Controller, NoOracleMeansNoRetraining) {
   Controller controller(fast_config(), nullptr);
   ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 11)));
-  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 12, 60.0);
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 12, 20.0);
   for (const auto& p : live.packets()) controller.handle(p);
   EXPECT_EQ(controller.retrain_count(), 0u);
 }
 
 TEST(Controller, EventsTimestampedMonotonically) {
-  Controller controller(fast_config(), truth_oracle());
+  // A couple of retrains is enough to order events; the gap keeps the test
+  // from refitting dozens of times over the live window.
+  auto config = fast_config();
+  config.min_retrain_gap_s = 6.0;
+  Controller controller(config, truth_oracle());
   ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 13)));
   const auto live = wifi_trace({pkt::AttackType::kBruteForce,
-                                pkt::AttackType::kMqttHijack}, 14, 60.0);
+                                pkt::AttackType::kMqttHijack}, 14, 20.0);
   for (const auto& p : live.packets()) controller.handle(p);
+  ASSERT_GE(controller.events().size(), 2u);  // bootstrap + at least one retrain
   double prev = -1.0;
   for (const auto& e : controller.events()) {
     EXPECT_GE(e.time_s, prev);
