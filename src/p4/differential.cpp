@@ -1,0 +1,134 @@
+#include "p4/differential.h"
+
+#include <cstdio>
+
+namespace p4iot::p4 {
+
+namespace {
+
+std::string format_verdict(const Verdict& v) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{%s entry=%lld class=%u malformed=%d}",
+                action_op_name(v.action), static_cast<long long>(v.entry_index),
+                v.attack_class, v.malformed ? 1 : 0);
+  return buf;
+}
+
+bool same_verdict(const Verdict& a, const Verdict& b) noexcept {
+  return a.action == b.action && a.entry_index == b.entry_index &&
+         a.attack_class == b.attack_class && a.malformed == b.malformed;
+}
+
+bool same_stats(const SwitchStats& a, const SwitchStats& b) noexcept {
+  if (a.packets != b.packets || a.permitted != b.permitted ||
+      a.dropped != b.dropped || a.mirrored != b.mirrored ||
+      a.rate_guard_drops != b.rate_guard_drops || a.malformed != b.malformed ||
+      a.bytes_in != b.bytes_in || a.bytes_forwarded != b.bytes_forwarded)
+    return false;
+  for (std::size_t c = 0; c < 16; ++c)
+    if (a.drops_by_class[c] != b.drops_by_class[c]) return false;
+  return true;
+}
+
+void fail(DifferentialReport& report, std::size_t at, std::string detail) {
+  if (!report.equivalent) return;  // keep the first divergence only
+  report.equivalent = false;
+  report.first_mismatch = at;
+  report.detail = std::move(detail);
+}
+
+}  // namespace
+
+DifferentialReport run_differential(const P4Program& program,
+                                    const std::vector<TableEntry>& rules,
+                                    std::span<const pkt::Packet> traffic,
+                                    const DifferentialConfig& config) {
+  DifferentialReport report;
+  report.packets = traffic.size();
+
+  // Path 1: sequential uncached switch — the reference model.
+  P4Switch seq(program, config.table_capacity);
+  // Path 2: batched switch with the flow-verdict cache in front of the scan.
+  P4Switch cached(program, config.table_capacity);
+  cached.enable_flow_cache(config.flow_cache_capacity);
+  // Path 3: N-worker sharded engine with per-worker caches.
+  DataplaneEngine engine(program, EngineConfig{config.engine_workers,
+                                              config.table_capacity,
+                                              config.flow_cache_capacity});
+
+  seq.install_rules(rules);
+  cached.install_rules(rules);
+  engine.install_rules(rules);
+  seq.set_malformed_policy(config.malformed_policy);
+  cached.set_malformed_policy(config.malformed_policy);
+  engine.set_malformed_policy(config.malformed_policy);
+  if (config.rate_guard) {
+    seq.set_rate_guard(*config.rate_guard);
+    cached.set_rate_guard(*config.rate_guard);
+    engine.set_rate_guard(*config.rate_guard);
+  }
+
+  std::vector<Verdict> seq_verdicts;
+  seq_verdicts.reserve(traffic.size());
+  for (const auto& packet : traffic) seq_verdicts.push_back(seq.process(packet));
+
+  const std::size_t step =
+      config.batch_size == 0 ? std::max<std::size_t>(traffic.size(), 1)
+                             : config.batch_size;
+  std::vector<Verdict> cached_verdicts;
+  std::vector<Verdict> engine_verdicts;
+  cached_verdicts.reserve(traffic.size());
+  engine_verdicts.reserve(traffic.size());
+  for (std::size_t at = 0; at < traffic.size(); at += step) {
+    const auto chunk = traffic.subspan(at, std::min(step, traffic.size() - at));
+    const auto from_cached = cached.process_batch(chunk);
+    cached_verdicts.insert(cached_verdicts.end(), from_cached.begin(),
+                           from_cached.end());
+    const auto from_engine = engine.process_batch(chunk);
+    engine_verdicts.insert(engine_verdicts.end(), from_engine.begin(),
+                           from_engine.end());
+  }
+
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    if (!same_verdict(seq_verdicts[i], cached_verdicts[i])) {
+      fail(report, i,
+           "packet " + std::to_string(i) + ": sequential " +
+               format_verdict(seq_verdicts[i]) + " vs cached-batch " +
+               format_verdict(cached_verdicts[i]));
+      break;
+    }
+    if (!same_verdict(seq_verdicts[i], engine_verdicts[i])) {
+      fail(report, i,
+           "packet " + std::to_string(i) + ": sequential " +
+               format_verdict(seq_verdicts[i]) + " vs engine " +
+               format_verdict(engine_verdicts[i]));
+      break;
+    }
+  }
+
+  const auto& ref = seq.stats();
+  if (!same_stats(ref, cached.stats()))
+    fail(report, traffic.size(), "aggregate stats diverge: sequential vs cached-batch");
+  if (!same_stats(ref, engine.stats()))
+    fail(report, traffic.size(), "aggregate stats diverge: sequential vs engine");
+
+  for (std::size_t e = 0; e < seq.table().entry_count(); ++e) {
+    const auto want = seq.table().hit_count(e);
+    if (cached.table().hit_count(e) != want || engine.hit_count(e) != want) {
+      fail(report, traffic.size(),
+           "hit counter diverges on entry " + std::to_string(e));
+      break;
+    }
+  }
+  if (cached.table().default_hits() != seq.table().default_hits() ||
+      engine.default_hits() != seq.table().default_hits())
+    fail(report, traffic.size(), "default-action hit counter diverges");
+
+  report.permitted = ref.permitted;
+  report.dropped = ref.dropped;
+  report.mirrored = ref.mirrored;
+  report.malformed = ref.malformed;
+  return report;
+}
+
+}  // namespace p4iot::p4

@@ -1,0 +1,63 @@
+// Differential checker: three implementations of the same data plane must
+// agree packet-for-packet.
+//
+// The repository carries three execution paths for one pipeline semantics —
+// sequential P4Switch::process (the reference model), process_batch with the
+// flow-verdict cache in front of the TCAM scan, and the N-worker
+// DataplaneEngine with RSS sharding and per-worker caches. Each was proven
+// equivalent when introduced; this harness keeps proving it on *adversarial*
+// traffic (fuzzed, truncated, spliced frames) where a divergence would be a
+// real security bug: a packet one path drops and another forwards.
+//
+// The comparison is exact, not statistical: per-packet (action, entry_index,
+// attack_class, malformed) plus merged SwitchStats, per-entry hit counters
+// and default-action hits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "p4/engine.h"
+#include "p4/ir.h"
+#include "p4/switch.h"
+#include "packet/packet.h"
+
+namespace p4iot::p4 {
+
+struct DifferentialConfig {
+  std::size_t engine_workers = 4;
+  std::size_t table_capacity = 1024;
+  /// Per-switch/per-worker flow-cache slots for the cached paths.
+  std::size_t flow_cache_capacity = 1024;
+  /// Batch size for the cached-batch and engine paths; 0 = one big batch.
+  std::size_t batch_size = 0;
+  MalformedPolicy malformed_policy = MalformedPolicy::kZeroPad;
+  std::optional<RateGuardSpec> rate_guard;
+};
+
+struct DifferentialReport {
+  bool equivalent = true;
+  std::size_t packets = 0;
+  /// Index of the first diverging packet (only valid when !equivalent).
+  std::size_t first_mismatch = 0;
+  /// Human-readable description of the first divergence.
+  std::string detail;
+
+  // Verdict distribution from the reference (sequential) path.
+  std::uint64_t permitted = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t mirrored = 0;
+  std::uint64_t malformed = 0;
+};
+
+/// Replay `traffic` through all three paths and compare. The same program,
+/// rules, policy and (optional) rate guard are installed in each.
+DifferentialReport run_differential(const P4Program& program,
+                                    const std::vector<TableEntry>& rules,
+                                    std::span<const pkt::Packet> traffic,
+                                    const DifferentialConfig& config = {});
+
+}  // namespace p4iot::p4

@@ -29,9 +29,16 @@ DataplaneEngine::~DataplaneEngine() {
 }
 
 void DataplaneEngine::rebuild_shard_fields() {
-  shard_fields_ = workers_[0]->sw.program().parser.fields;
+  // The guard's per-key sketch is the only state shared across packets, so
+  // when a guard is configured the shard key must be *exactly* its key
+  // fields: mixing in the parser fields would scatter one guard key across
+  // workers and split its count (a divergence the fuzz differential harness
+  // caught). Without a guard, parser fields give the best cache locality;
+  // the table and the exact-match flow cache are correct under any sharding.
   if (const RateGuard* guard = workers_[0]->sw.rate_guard()) {
-    for (const auto& f : guard->spec().key_fields) shard_fields_.push_back(f);
+    shard_fields_ = guard->spec().key_fields;
+  } else {
+    shard_fields_ = workers_[0]->sw.program().parser.fields;
   }
 }
 
@@ -132,6 +139,10 @@ void DataplaneEngine::clear_rules() {
   for (auto& w : workers_) w->sw.clear_rules();
 }
 
+void DataplaneEngine::set_malformed_policy(MalformedPolicy policy) {
+  for (auto& w : workers_) w->sw.set_malformed_policy(policy);
+}
+
 void DataplaneEngine::set_rate_guard(const RateGuardSpec& spec) {
   for (auto& w : workers_) w->sw.set_rate_guard(spec);
   rebuild_shard_fields();
@@ -163,6 +174,7 @@ SwitchStats DataplaneEngine::stats() const {
     merged.dropped += s.dropped;
     merged.mirrored += s.mirrored;
     merged.rate_guard_drops += s.rate_guard_drops;
+    merged.malformed += s.malformed;
     merged.bytes_in += s.bytes_in;
     merged.bytes_forwarded += s.bytes_forwarded;
     for (std::size_t c = 0; c < 16; ++c) merged.drops_by_class[c] += s.drops_by_class[c];

@@ -9,9 +9,11 @@
 // a lock or touches an atomic.
 //
 // The shard key hashes the bytes of the program's parser fields (the flow
-// identity the table matches on) plus, when a rate guard is configured, the
-// guard's key fields — so both the table verdict and the guard's per-key
-// rate counting see exactly the packets a sequential switch would.
+// identity the table matches on) — or, when a rate guard is configured, the
+// guard's key fields alone, since the guard's per-key sketch is the only
+// cross-packet state and every packet of one guard key must serialize on
+// one replica for its count (and hence the verdict stream) to match a
+// sequential switch exactly.
 //
 // Rule-management calls fan out to every replica and must not run
 // concurrently with process_batch() (same contract as a real switch's
@@ -56,6 +58,7 @@ class DataplaneEngine {
   TableWriteStatus install_rules(const std::vector<TableEntry>& entries);
   void set_default_action(ActionOp action);
   void clear_rules();
+  void set_malformed_policy(MalformedPolicy policy);
   void set_rate_guard(const RateGuardSpec& spec);
   void clear_rate_guard();
 

@@ -7,6 +7,7 @@
 // those fields, and permit/drop/count actions.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -75,6 +76,15 @@ struct ParserSpec {
   /// the field count and overwritten.
   void extract_into(std::span<const std::uint8_t> frame,
                     std::vector<std::uint64_t>& out) const;
+
+  /// Shortest frame that contains every parsed field in full. Frames below
+  /// this length force the parser to fabricate zero bytes — the definition
+  /// of "malformed" the switch's MalformedPolicy acts on.
+  std::size_t min_frame_bytes() const noexcept {
+    std::size_t m = 0;
+    for (const auto& f : fields) m = std::max(m, f.offset + f.width);
+    return m;
+  }
 };
 
 /// Complete firewall program: parser + one table + default action.

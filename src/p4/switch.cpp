@@ -2,9 +2,19 @@
 
 namespace p4iot::p4 {
 
+const char* malformed_policy_name(MalformedPolicy policy) noexcept {
+  switch (policy) {
+    case MalformedPolicy::kZeroPad: return "zero-pad";
+    case MalformedPolicy::kFailClosed: return "fail-closed";
+    case MalformedPolicy::kFailOpen: return "fail-open";
+  }
+  return "?";
+}
+
 P4Switch::P4Switch(P4Program program, std::size_t table_capacity)
     : program_(std::move(program)),
-      table_("firewall", program_.keys, table_capacity, program_.default_action) {}
+      table_("firewall", program_.keys, table_capacity, program_.default_action),
+      min_frame_bytes_(program_.parser.min_frame_bytes()) {}
 
 void P4Switch::enable_flow_cache(std::size_t capacity) {
   flow_cache_ = std::make_unique<FlowVerdictCache>(capacity);
@@ -26,7 +36,41 @@ LookupResult P4Switch::lookup_cached(std::span<const std::uint64_t> values) {
   return result;
 }
 
+Verdict P4Switch::finish(const pkt::Packet& packet, LookupResult result,
+                         std::uint8_t attack_class, bool malformed) {
+  ++stats_.packets;
+  stats_.bytes_in += packet.size();
+  if (malformed) ++stats_.malformed;
+  switch (result.action) {
+    case ActionOp::kPermit:
+      ++stats_.permitted;
+      stats_.bytes_forwarded += packet.size();
+      break;
+    case ActionOp::kDrop:
+      ++stats_.dropped;
+      ++stats_.drops_by_class[attack_class & 0x0f];
+      break;
+    case ActionOp::kMirror:
+      ++stats_.mirrored;
+      stats_.bytes_forwarded += packet.size();
+      if (mirror_) mirror_(packet);
+      break;
+  }
+  return {result.action, result.entry_index, attack_class, malformed};
+}
+
 Verdict P4Switch::process(const pkt::Packet& packet) {
+  const bool malformed = packet.size() < min_frame_bytes_;
+  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
+    // Fail-closed/fail-open short-circuit: the frame never reaches the
+    // table, the flow cache or the rate guard, so a truncated header can
+    // neither poison cached verdicts nor skew the guard's sketch.
+    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+                            ? ActionOp::kDrop
+                            : ActionOp::kPermit;
+    return finish(packet, LookupResult{action, -1}, 0, true);
+  }
+
   program_.parser.extract_into(packet.view(), scratch_values_);
   auto result = lookup_cached(scratch_values_);
   std::uint8_t attack_class =
@@ -44,24 +88,7 @@ Verdict P4Switch::process(const pkt::Packet& packet) {
     if (result.action == ActionOp::kDrop) ++stats_.rate_guard_drops;
   }
 
-  ++stats_.packets;
-  stats_.bytes_in += packet.size();
-  switch (result.action) {
-    case ActionOp::kPermit:
-      ++stats_.permitted;
-      stats_.bytes_forwarded += packet.size();
-      break;
-    case ActionOp::kDrop:
-      ++stats_.dropped;
-      ++stats_.drops_by_class[attack_class & 0x0f];
-      break;
-    case ActionOp::kMirror:
-      ++stats_.mirrored;
-      stats_.bytes_forwarded += packet.size();
-      if (mirror_) mirror_(packet);
-      break;
-  }
-  return {result.action, result.entry_index, attack_class};
+  return finish(packet, result, attack_class, malformed);
 }
 
 std::vector<Verdict> P4Switch::process_batch(std::span<const pkt::Packet> batch) {
@@ -76,13 +103,20 @@ void P4Switch::process_batch(std::span<const pkt::Packet> batch,
 }
 
 Verdict P4Switch::peek(const pkt::Packet& packet) const {
+  const bool malformed = packet.size() < min_frame_bytes_;
+  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
+    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+                            ? ActionOp::kDrop
+                            : ActionOp::kPermit;
+    return {action, -1, 0, true};
+  }
   const auto values = program_.parser.extract(packet.view());
   const auto result = table_.peek(values);
   const std::uint8_t attack_class =
       result.entry_index >= 0
           ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
           : 0;
-  return {result.action, result.entry_index, attack_class};
+  return {result.action, result.entry_index, attack_class, malformed};
 }
 
 void P4Switch::reset_stats() {

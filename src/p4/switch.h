@@ -28,12 +28,25 @@
 
 namespace p4iot::p4 {
 
+/// How the pipeline treats frames too short to contain every parser field
+/// (the parser would otherwise fabricate zero bytes for the missing tail).
+/// Whatever the policy, the verdict is *defined* — adversarial truncation
+/// can never push the switch into unspecified behaviour.
+enum class MalformedPolicy : std::uint8_t {
+  kZeroPad = 0,     ///< legacy: extract zero-padded values, match normally
+  kFailClosed = 1,  ///< drop without consulting the table or the rate guard
+  kFailOpen = 2,    ///< permit without consulting the table or the rate guard
+};
+
+const char* malformed_policy_name(MalformedPolicy policy) noexcept;
+
 struct SwitchStats {
   std::uint64_t packets = 0;
   std::uint64_t permitted = 0;
   std::uint64_t dropped = 0;
   std::uint64_t mirrored = 0;
   std::uint64_t rate_guard_drops = 0;  ///< subset of dropped
+  std::uint64_t malformed = 0;  ///< frames shorter than the parser's fields
   std::uint64_t bytes_in = 0;
   std::uint64_t bytes_forwarded = 0;
   /// Drops attributed per attack-class tag of the matching entry (telemetry
@@ -45,6 +58,7 @@ struct Verdict {
   ActionOp action = ActionOp::kPermit;
   std::int64_t entry_index = -1;
   std::uint8_t attack_class = 0;  ///< matching entry's class tag (0 = none)
+  bool malformed = false;  ///< frame was short of the parser's field extent
   bool forwarded() const noexcept { return action != ActionOp::kDrop; }
 };
 
@@ -86,6 +100,16 @@ class P4Switch {
     return rate_guard_ ? &*rate_guard_ : nullptr;
   }
 
+  /// Malformed-frame policy (default kZeroPad, the historical behaviour).
+  /// Under kFailClosed/kFailOpen malformed frames bypass the table, the
+  /// flow cache and the rate guard and take the policy's fixed verdict.
+  void set_malformed_policy(MalformedPolicy policy) noexcept {
+    malformed_policy_ = policy;
+  }
+  MalformedPolicy malformed_policy() const noexcept { return malformed_policy_; }
+  /// Frames shorter than this are malformed (parser field extent).
+  std::size_t min_frame_bytes() const noexcept { return min_frame_bytes_; }
+
   /// Flow-verdict cache (off by default to keep the single-packet model
   /// faithful to an uncached TCAM; the DataplaneEngine turns it on).
   void enable_flow_cache(std::size_t capacity = 4096);
@@ -109,9 +133,13 @@ class P4Switch {
 
  private:
   LookupResult lookup_cached(std::span<const std::uint64_t> values);
+  Verdict finish(const pkt::Packet& packet, LookupResult result,
+                 std::uint8_t attack_class, bool malformed);
 
   P4Program program_;
   MatchActionTable table_;
+  MalformedPolicy malformed_policy_ = MalformedPolicy::kZeroPad;
+  std::size_t min_frame_bytes_ = 0;
   SwitchStats stats_;
   MirrorHandler mirror_;
   std::optional<RateGuard> rate_guard_;

@@ -11,95 +11,114 @@ namespace p4iot::pkt {
 
 namespace {
 
-void add(std::vector<FieldSpan>& out, std::size_t offset, std::size_t width,
-         const char* name) {
-  out.push_back(FieldSpan{offset, width, name});
-}
+// Span emitter hardened against truncated frames: header layouts below name
+// nominal offsets/widths, and this clamp — not any length field inside the
+// frame — decides what is actually reported. A field the frame ends inside
+// is clamped and flagged; fields entirely past the end are dropped.
+class LayoutBuilder {
+ public:
+  LayoutBuilder(std::vector<FieldSpan>& out, std::size_t frame_len)
+      : out_(out), frame_len_(frame_len) {}
+
+  void add(std::size_t offset, std::size_t width, const char* name) {
+    if (offset >= frame_len_ || width == 0) return;
+    const std::size_t avail = frame_len_ - offset;
+    const bool truncated = width > avail;
+    out_.push_back(FieldSpan{offset, truncated ? avail : width, name, truncated});
+  }
+
+ private:
+  std::vector<FieldSpan>& out_;
+  std::size_t frame_len_;
+};
 
 void ethernet_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
-  add(out, 0, 6, "eth.dst");
-  add(out, 6, 6, "eth.src");
-  add(out, 12, 2, "eth.type");
+  LayoutBuilder b(out, frame.size());
+  b.add(0, 6, "eth.dst");
+  b.add(6, 6, "eth.src");
+  b.add(12, 2, "eth.type");
   const auto ip = parse_ipv4(frame);
   if (!ip) return;
-  add(out, 14, 1, "ipv4.ver_ihl");
-  add(out, 15, 1, "ipv4.dscp");
-  add(out, 16, 2, "ipv4.total_len");
-  add(out, 18, 2, "ipv4.id");
-  add(out, 20, 2, "ipv4.flags_frag");
-  add(out, 22, 1, "ipv4.ttl");
-  add(out, 23, 1, "ipv4.protocol");
-  add(out, 24, 2, "ipv4.checksum");
-  add(out, 26, 4, "ipv4.src");
-  add(out, 30, 4, "ipv4.dst");
+  b.add(14, 1, "ipv4.ver_ihl");
+  b.add(15, 1, "ipv4.dscp");
+  b.add(16, 2, "ipv4.total_len");
+  b.add(18, 2, "ipv4.id");
+  b.add(20, 2, "ipv4.flags_frag");
+  b.add(22, 1, "ipv4.ttl");
+  b.add(23, 1, "ipv4.protocol");
+  b.add(24, 2, "ipv4.checksum");
+  b.add(26, 4, "ipv4.src");
+  b.add(30, 4, "ipv4.dst");
   switch (ip->protocol) {
     case kIpProtoTcp:
-      add(out, 34, 2, "tcp.src_port");
-      add(out, 36, 2, "tcp.dst_port");
-      add(out, 38, 4, "tcp.seq");
-      add(out, 42, 4, "tcp.ack");
-      add(out, 46, 1, "tcp.data_off");
-      add(out, 47, 1, "tcp.flags");
-      add(out, 48, 2, "tcp.window");
-      add(out, 50, 2, "tcp.checksum");
-      add(out, 52, 2, "tcp.urgent");
-      if (frame.size() > 54) add(out, 54, frame.size() - 54, "payload");
+      b.add(34, 2, "tcp.src_port");
+      b.add(36, 2, "tcp.dst_port");
+      b.add(38, 4, "tcp.seq");
+      b.add(42, 4, "tcp.ack");
+      b.add(46, 1, "tcp.data_off");
+      b.add(47, 1, "tcp.flags");
+      b.add(48, 2, "tcp.window");
+      b.add(50, 2, "tcp.checksum");
+      b.add(52, 2, "tcp.urgent");
+      if (frame.size() > 54) b.add(54, frame.size() - 54, "payload");
       break;
     case kIpProtoUdp:
-      add(out, 34, 2, "udp.src_port");
-      add(out, 36, 2, "udp.dst_port");
-      add(out, 38, 2, "udp.length");
-      add(out, 40, 2, "udp.checksum");
-      if (frame.size() > 42) add(out, 42, frame.size() - 42, "payload");
+      b.add(34, 2, "udp.src_port");
+      b.add(36, 2, "udp.dst_port");
+      b.add(38, 2, "udp.length");
+      b.add(40, 2, "udp.checksum");
+      if (frame.size() > 42) b.add(42, frame.size() - 42, "payload");
       break;
     case kIpProtoIcmp:
-      add(out, 34, 1, "icmp.type");
-      add(out, 35, 1, "icmp.code");
-      add(out, 36, 2, "icmp.checksum");
-      if (frame.size() > 38) add(out, 38, frame.size() - 38, "payload");
+      b.add(34, 1, "icmp.type");
+      b.add(35, 1, "icmp.code");
+      b.add(36, 2, "icmp.checksum");
+      if (frame.size() > 38) b.add(38, frame.size() - 38, "payload");
       break;
     default:
-      if (frame.size() > 34) add(out, 34, frame.size() - 34, "payload");
+      if (frame.size() > 34) b.add(34, frame.size() - 34, "payload");
       break;
   }
 }
 
 void zigbee_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
-  add(out, 0, 2, "mac154.frame_control");
-  add(out, 2, 1, "mac154.seq");
-  add(out, 3, 2, "mac154.dst_pan");
-  add(out, 5, 2, "mac154.dst_addr");
-  add(out, 7, 2, "mac154.src_addr");
-  add(out, 9, 2, "zbee_nwk.frame_control");
-  add(out, 11, 2, "zbee_nwk.dst");
-  add(out, 13, 2, "zbee_nwk.src");
-  add(out, 15, 1, "zbee_nwk.radius");
-  add(out, 16, 1, "zbee_nwk.seq");
-  add(out, 17, 1, "zbee_aps.frame_control");
-  add(out, 18, 1, "zbee_aps.dst_endpoint");
-  add(out, 19, 2, "zbee_aps.cluster");
-  add(out, 21, 2, "zbee_aps.profile");
-  add(out, 23, 1, "zbee_aps.src_endpoint");
-  add(out, 24, 1, "zbee_aps.counter");
+  LayoutBuilder b(out, frame.size());
+  b.add(0, 2, "mac154.frame_control");
+  b.add(2, 1, "mac154.seq");
+  b.add(3, 2, "mac154.dst_pan");
+  b.add(5, 2, "mac154.dst_addr");
+  b.add(7, 2, "mac154.src_addr");
+  b.add(9, 2, "zbee_nwk.frame_control");
+  b.add(11, 2, "zbee_nwk.dst");
+  b.add(13, 2, "zbee_nwk.src");
+  b.add(15, 1, "zbee_nwk.radius");
+  b.add(16, 1, "zbee_nwk.seq");
+  b.add(17, 1, "zbee_aps.frame_control");
+  b.add(18, 1, "zbee_aps.dst_endpoint");
+  b.add(19, 2, "zbee_aps.cluster");
+  b.add(21, 2, "zbee_aps.profile");
+  b.add(23, 1, "zbee_aps.src_endpoint");
+  b.add(24, 1, "zbee_aps.counter");
   if (frame.size() > kOffZigbeePayload)
-    add(out, kOffZigbeePayload, frame.size() - kOffZigbeePayload, "payload");
+    b.add(kOffZigbeePayload, frame.size() - kOffZigbeePayload, "payload");
 }
 
 void ble_layout(std::vector<FieldSpan>& out, std::span<const std::uint8_t> frame) {
-  add(out, 0, 4, "btle.access_address");
-  add(out, 4, 1, "btle.header");
-  add(out, 5, 1, "btle.length");
+  LayoutBuilder b(out, frame.size());
+  b.add(0, 4, "btle.access_address");
+  b.add(4, 1, "btle.header");
+  b.add(5, 1, "btle.length");
   if (is_ble_advertising(frame)) {
-    add(out, 6, 6, "btle.adv_addr");
+    b.add(6, 6, "btle.adv_addr");
     if (frame.size() > kOffBleAdvData)
-      add(out, kOffBleAdvData, frame.size() - kOffBleAdvData, "btle.adv_data");
+      b.add(kOffBleAdvData, frame.size() - kOffBleAdvData, "btle.adv_data");
   } else {
-    add(out, 6, 2, "l2cap.length");
-    add(out, 8, 2, "l2cap.cid");
-    add(out, 10, 1, "att.opcode");
-    add(out, 11, 2, "att.handle");
+    b.add(6, 2, "l2cap.length");
+    b.add(8, 2, "l2cap.cid");
+    b.add(10, 1, "att.opcode");
+    b.add(11, 2, "att.handle");
     if (frame.size() > kOffBleAttValue)
-      add(out, kOffBleAttValue, frame.size() - kOffBleAttValue, "att.value");
+      b.add(kOffBleAttValue, frame.size() - kOffBleAttValue, "att.value");
   }
 }
 

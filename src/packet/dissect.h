@@ -20,6 +20,7 @@ struct FieldSpan {
   std::size_t offset = 0;
   std::size_t width = 0;
   std::string name;  ///< dotted "layer.field" notation, e.g. "tcp.dst_port"
+  bool truncated = false;  ///< frame ended inside this field (width clamped)
 
   bool contains(std::size_t byte_offset) const noexcept {
     return byte_offset >= offset && byte_offset < offset + width;
@@ -29,6 +30,12 @@ struct FieldSpan {
 /// Full field layout of a frame, chosen by link type and (for Ethernet) the
 /// IP protocol / (for BLE) the PDU family. Regions past the known headers are
 /// reported as a single "payload" span.
+///
+/// Spans never extend past the frame: a field the frame ends inside is
+/// clamped (and flagged `truncated`); fields entirely past the end are
+/// omitted. Length fields inside the frame are treated as untrusted input —
+/// the layout is derived from the bytes actually present, never from what a
+/// header *claims* follows.
 std::vector<FieldSpan> field_layout(LinkType link, std::span<const std::uint8_t> frame);
 
 /// Name of the field covering `offset`, or "payload[i]" / "past-end".

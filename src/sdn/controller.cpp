@@ -6,28 +6,81 @@
 
 namespace p4iot::sdn {
 
+const char* controller_event_name(ControllerEventType type) noexcept {
+  switch (type) {
+    case ControllerEventType::kBootstrap: return "bootstrap";
+    case ControllerEventType::kDriftDetected: return "drift-detected";
+    case ControllerEventType::kRetrained: return "retrained";
+    case ControllerEventType::kInstallFailed: return "install-failed";
+    case ControllerEventType::kRollback: return "rollback";
+    case ControllerEventType::kOracleSilent: return "oracle-silent";
+  }
+  return "?";
+}
+
 Controller::Controller(ControllerConfig config, LabelOracle oracle)
     : config_(std::move(config)),
       oracle_(std::move(oracle)),
       pipeline_(config_.pipeline),
       switch_(p4::P4Program{}, config_.table_capacity),
-      rng_(config_.seed) {}
+      rng_(config_.seed),
+      faults_(config_.faults) {}
+
+p4::TableWriteStatus Controller::swap_rules(double now_s, double miss_rate,
+                                            bool bootstrap) {
+  // install-new → verify → retire-old. The serving switch is untouched until
+  // the candidate is fully built, populated and verified, so any failure
+  // below leaves the previous table serving traffic (fail-degraded, never
+  // fail-empty).
+  p4::P4Switch candidate(pipeline_.rules().program, config_.table_capacity);
+  candidate.set_malformed_policy(config_.malformed_policy);
+
+  p4::TableWriteStatus status;
+  if (!bootstrap && faults_.fail_install()) {
+    // Injected southbound failure: the write never reached the switch.
+    status = p4::TableWriteStatus::kTableFull;
+  } else {
+    status = pipeline_.install(candidate);
+  }
+
+  // Verify before retiring the old table: the install reported success and
+  // the candidate actually serves the synthesized rule set.
+  const bool verified =
+      status == p4::TableWriteStatus::kOk &&
+      candidate.table().entry_count() == pipeline_.rules().entries.size();
+
+  ControllerEvent event{bootstrap ? ControllerEventType::kBootstrap
+                                  : ControllerEventType::kRetrained,
+                        now_s, candidate.table().entry_count(), miss_rate};
+  if (!verified) {
+    ++stats_.installs_failed;
+    event.type = ControllerEventType::kInstallFailed;
+    event.rules_installed = switch_.table().entry_count();
+    events_.push_back(event);
+    P4IOT_LOG_ERROR("controller", "%s install failed: %s",
+                    bootstrap ? "bootstrap" : "retrain",
+                    p4::table_write_status_name(status));
+    if (!bootstrap) {
+      // Roll back: candidate is discarded, the old switch keeps serving.
+      // enter_degraded records the kRollback event.
+      ++stats_.rollbacks;
+      enter_degraded(now_s, ControllerEventType::kRollback);
+    }
+    return status == p4::TableWriteStatus::kOk ? p4::TableWriteStatus::kTableFull
+                                               : status;
+  }
+
+  switch_ = std::move(candidate);  // retire-old (per-epoch stats reset)
+  degraded_ = false;
+  events_.push_back(event);
+  return p4::TableWriteStatus::kOk;
+}
 
 bool Controller::bootstrap(const pkt::Trace& initial) {
   pipeline_.fit(initial);
-  switch_ = p4::P4Switch(pipeline_.rules().program, config_.table_capacity);
-  const auto status = pipeline_.install(switch_);
+  const auto status = swap_rules(0.0, 0.0, /*bootstrap=*/true);
+  if (status != p4::TableWriteStatus::kOk) return false;
 
-  ControllerEvent event{ControllerEventType::kBootstrap, 0.0,
-                        switch_.table().entry_count(), 0.0};
-  if (status != p4::TableWriteStatus::kOk) {
-    event.type = ControllerEventType::kInstallFailed;
-    events_.push_back(event);
-    P4IOT_LOG_ERROR("controller", "bootstrap install failed: %s",
-                    p4::table_write_status_name(status));
-    return false;
-  }
-  events_.push_back(event);
   P4IOT_LOG_INFO("controller", "bootstrap: %zu rules over %zu fields",
                  switch_.table().entry_count(),
                  pipeline_.rules().program.parser.fields.size());
@@ -40,10 +93,20 @@ bool Controller::bootstrap(const pkt::Trace& initial) {
 
 p4::Verdict Controller::handle(const pkt::Packet& packet) {
   const auto verdict = switch_.process(packet);
+  ++stats_.packets;
+  deliver_due_labels();
 
   // Punt-path sampling: a fraction of traffic gets oracle labels.
   if (oracle_ && rng_.uniform() < config_.sample_probability) {
-    if (const auto label = oracle_(packet)) {
+    const auto label = oracle_(packet);
+    if (!label || faults_.drop_label()) {
+      note_label_lost(packet.timestamp_s);
+    } else if (faults_.delay_label()) {
+      delayed_.push_back({packet, *label,
+                          verdict.action == p4::ActionOp::kDrop,
+                          stats_.packets + config_.faults.delay_packets});
+      ++stats_.labels_delayed;
+    } else {
       record_sample(packet, *label, verdict.action == p4::ActionOp::kDrop);
       maybe_retrain(packet.timestamp_s);
     }
@@ -51,8 +114,47 @@ p4::Verdict Controller::handle(const pkt::Packet& packet) {
   return verdict;
 }
 
+void Controller::deliver_due_labels() {
+  while (!delayed_.empty() && delayed_.front().due_at_packet <= stats_.packets) {
+    DelayedLabel late = std::move(delayed_.front());
+    delayed_.pop_front();
+    record_sample(late.packet, late.is_attack, late.was_dropped);
+    maybe_retrain(late.packet.timestamp_s);
+  }
+}
+
+void Controller::note_label_lost(double now_s) {
+  ++stats_.labels_lost;
+  ++stats_.oracle_silent_streak;
+  stats_.max_oracle_silent_streak =
+      std::max(stats_.max_oracle_silent_streak, stats_.oracle_silent_streak);
+  // A full drift window without a single label means the drift detector is
+  // blind: surface it once per streak.
+  if (stats_.oracle_silent_streak == config_.drift_window)
+    enter_degraded(now_s, ControllerEventType::kOracleSilent);
+}
+
+void Controller::enter_degraded(double now_s, ControllerEventType why) {
+  events_.push_back({why, now_s, switch_.table().entry_count(),
+                     current_miss_rate()});
+  if (!degraded_) {
+    degraded_ = true;
+    degraded_cause_ = why;
+    ++stats_.degraded_entries;
+    P4IOT_LOG_ERROR("controller", "degraded mode (%s) at t=%.1fs",
+                    controller_event_name(why), now_s);
+  }
+}
+
 void Controller::record_sample(const pkt::Packet& packet, bool is_attack,
                                bool was_dropped) {
+  ++stats_.labels_applied;
+  stats_.oracle_silent_streak = 0;
+  // A fresh label only cures oracle-silence degradation; a rolled-back swap
+  // stays degraded until a swap succeeds.
+  if (degraded_ && degraded_cause_ == ControllerEventType::kOracleSilent)
+    degraded_ = false;
+
   pkt::Packet labelled = packet;
   // Normalize the stored label to what the oracle said (binary): keep the
   // original class when it agrees, otherwise coerce.
@@ -100,21 +202,10 @@ void Controller::maybe_retrain(double now_s) {
 
   pipeline_.fit(sample_buffer_);
   // The field selection may have changed, so the parser program changes too:
-  // hot-swap by rebuilding the switch program (real targets reload the
-  // pipeline binary; entry-only updates happen when fields are unchanged).
-  auto stats_backup = switch_.stats();
-  switch_ = p4::P4Switch(pipeline_.rules().program, config_.table_capacity);
-  const auto status = pipeline_.install(switch_);
-  (void)stats_backup;  // per-epoch stats intentionally reset on reload
-
-  ControllerEvent event{ControllerEventType::kRetrained, now_s,
-                        switch_.table().entry_count(), miss_rate};
-  if (status != p4::TableWriteStatus::kOk) {
-    event.type = ControllerEventType::kInstallFailed;
-    P4IOT_LOG_ERROR("controller", "retrain install failed: %s",
-                    p4::table_write_status_name(status));
-  }
-  events_.push_back(event);
+  // the transactional swap rebuilds the switch program (real targets reload
+  // the pipeline binary; entry-only updates happen when fields are
+  // unchanged) and rolls back on any failure.
+  (void)swap_rules(now_s, miss_rate, /*bootstrap=*/false);
   last_retrain_s_ = now_s;
   recent_.clear();  // fresh window for the new rule set
 }

@@ -8,6 +8,13 @@
 // traffic, and re-trains + hot-swaps the rule set when drift is detected.
 // This is the "dynamically reconfigurable" property the paper's abstract
 // highlights over static firewalls.
+//
+// Robustness (see DESIGN.md §7): rule swaps are transactional — the new
+// program is built and installed into a candidate switch, verified, and
+// only then retires the serving switch; any failure rolls back and the old
+// table keeps serving. Oracle silence and southbound install failures
+// (optionally injected via FaultSpec for testing) are tracked in
+// ControllerStats, including an explicit degraded-mode counter.
 #pragma once
 
 #include <deque>
@@ -18,6 +25,7 @@
 #include "core/pipeline.h"
 #include "p4/switch.h"
 #include "packet/trace.h"
+#include "sdn/fault.h"
 
 namespace p4iot::sdn {
 
@@ -35,6 +43,12 @@ struct ControllerConfig {
   double drift_miss_threshold = 0.3;
   double min_retrain_gap_s = 5.0;     ///< don't thrash
 
+  /// Malformed-frame policy pushed to the data plane on every (re)install.
+  p4::MalformedPolicy malformed_policy = p4::MalformedPolicy::kZeroPad;
+
+  /// Control-plane fault injection (all-zero = disabled; tests only).
+  FaultSpec faults;
+
   std::uint64_t seed = 77;
 };
 
@@ -46,13 +60,30 @@ enum class ControllerEventType : std::uint8_t {
   kDriftDetected = 1,
   kRetrained = 2,
   kInstallFailed = 3,
+  kRollback = 4,      ///< failed swap; previous table kept serving
+  kOracleSilent = 5,  ///< no label for a full drift window of sampled packets
 };
+
+const char* controller_event_name(ControllerEventType type) noexcept;
 
 struct ControllerEvent {
   ControllerEventType type;
   double time_s = 0.0;
   std::size_t rules_installed = 0;
   double observed_miss_rate = 0.0;
+};
+
+/// Runtime health counters (cumulative since construction).
+struct ControllerStats {
+  std::uint64_t packets = 0;          ///< packets handled
+  std::uint64_t labels_applied = 0;   ///< oracle labels recorded (incl. late)
+  std::uint64_t labels_lost = 0;      ///< oracle silent or label dropped
+  std::uint64_t labels_delayed = 0;   ///< labels that arrived late
+  std::uint64_t installs_failed = 0;  ///< southbound install failures
+  std::uint64_t rollbacks = 0;        ///< failed swaps rolled back
+  std::uint64_t degraded_entries = 0; ///< times the controller went degraded
+  std::uint64_t oracle_silent_streak = 0;      ///< current consecutive losses
+  std::uint64_t max_oracle_silent_streak = 0;
 };
 
 class Controller {
@@ -76,19 +107,45 @@ class Controller {
   /// Current sliding-window miss rate (1.0 = every recent attack permitted).
   double current_miss_rate() const noexcept;
 
+  const ControllerStats& stats() const noexcept { return stats_; }
+  const FaultCounters& fault_counters() const noexcept {
+    return faults_.counters();
+  }
+  /// True while the controller is operating without its full feedback loop:
+  /// the last rule swap rolled back, or the oracle has been silent for a
+  /// full drift window. Cleared by a successful swap / fresh label.
+  bool degraded() const noexcept { return degraded_; }
+
  private:
   void record_sample(const pkt::Packet& packet, bool is_attack, bool was_dropped);
+  void deliver_due_labels();
   void maybe_retrain(double now_s);
+  void note_label_lost(double now_s);
+  void enter_degraded(double now_s, ControllerEventType why);
+  /// Transactional swap: fit already done; build candidate, install, verify,
+  /// retire old on success. Returns the final install status.
+  p4::TableWriteStatus swap_rules(double now_s, double miss_rate, bool bootstrap);
 
   ControllerConfig config_;
   LabelOracle oracle_;
   core::TwoStagePipeline pipeline_;
   p4::P4Switch switch_;
   common::Rng rng_;
+  FaultInjector faults_;
 
   pkt::Trace sample_buffer_;          ///< labelled ring buffer for retraining
   std::deque<std::pair<bool, bool>> recent_;  ///< (is_attack, was_dropped)
+  struct DelayedLabel {
+    pkt::Packet packet;
+    bool is_attack = false;
+    bool was_dropped = false;
+    std::uint64_t due_at_packet = 0;  ///< deliver when stats_.packets reaches this
+  };
+  std::deque<DelayedLabel> delayed_;
   std::vector<ControllerEvent> events_;
+  ControllerStats stats_;
+  bool degraded_ = false;
+  ControllerEventType degraded_cause_ = ControllerEventType::kBootstrap;
   double last_retrain_s_ = -1e9;
 };
 

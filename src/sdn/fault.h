@@ -1,0 +1,92 @@
+// Deterministic control-plane fault injection.
+//
+// The controller's drift loop quietly assumes a cooperative environment:
+// the label oracle always answers, and every southbound rule install
+// succeeds. Real deployments lose oracle verdicts (IDS overload, operator
+// latency) and fail table writes (TCAM pressure, switch reboots, RPC
+// timeouts). The FaultInjector models those failures as seeded random
+// events so controller robustness — degraded-mode accounting, transactional
+// rule swap with rollback — is testable bit-for-bit reproducibly.
+//
+// An all-zero FaultSpec (the default) injects nothing and costs nothing.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace p4iot::sdn {
+
+struct FaultSpec {
+  /// Probability an oracle label is silently lost before the controller
+  /// sees it (the oracle "answered" but the answer never arrives).
+  double drop_label_probability = 0.0;
+  /// Probability a label is delayed: it reaches the controller only after
+  /// `delay_packets` further packets have been handled.
+  double delay_label_probability = 0.0;
+  std::size_t delay_packets = 32;
+  /// Probability a post-bootstrap rule install fails at the southbound
+  /// interface (bootstrap is operator-supervised and exempt).
+  double fail_install_probability = 0.0;
+  /// Deterministically fail the first N post-bootstrap installs, on top of
+  /// the probabilistic failures (for targeted rollback tests).
+  std::size_t fail_first_installs = 0;
+  std::uint64_t seed = 0xfa017;
+
+  bool enabled() const noexcept {
+    return drop_label_probability > 0.0 || delay_label_probability > 0.0 ||
+           fail_install_probability > 0.0 || fail_first_installs > 0;
+  }
+};
+
+struct FaultCounters {
+  std::uint64_t labels_dropped = 0;
+  std::uint64_t labels_delayed = 0;
+  std::uint64_t installs_failed = 0;
+};
+
+class FaultInjector {
+ public:
+  FaultInjector() : FaultInjector(FaultSpec{}) {}
+  explicit FaultInjector(FaultSpec spec) : spec_(spec), rng_(spec.seed) {}
+
+  /// Roll for oracle-label loss. Counted when it fires.
+  bool drop_label() noexcept {
+    if (spec_.drop_label_probability <= 0.0 ||
+        !rng_.chance(spec_.drop_label_probability))
+      return false;
+    ++counters_.labels_dropped;
+    return true;
+  }
+
+  /// Roll for oracle-label delay. Counted when it fires.
+  bool delay_label() noexcept {
+    if (spec_.delay_label_probability <= 0.0 ||
+        !rng_.chance(spec_.delay_label_probability))
+      return false;
+    ++counters_.labels_delayed;
+    return true;
+  }
+
+  /// Roll for a southbound install failure. Counted when it fires.
+  bool fail_install() noexcept {
+    const std::uint64_t n = ++installs_seen_;
+    const bool forced = n <= spec_.fail_first_installs;
+    const bool rolled = spec_.fail_install_probability > 0.0 &&
+                        rng_.chance(spec_.fail_install_probability);
+    if (!forced && !rolled) return false;
+    ++counters_.installs_failed;
+    return true;
+  }
+
+  const FaultSpec& spec() const noexcept { return spec_; }
+  const FaultCounters& counters() const noexcept { return counters_; }
+
+ private:
+  FaultSpec spec_;
+  common::Rng rng_;
+  FaultCounters counters_;
+  std::uint64_t installs_seen_ = 0;
+};
+
+}  // namespace p4iot::sdn

@@ -1,0 +1,270 @@
+#include "trafficgen/fuzz.h"
+
+#include <algorithm>
+
+#include "common/bytes.h"
+#include "packet/app_layer.h"
+#include "packet/ble.h"
+#include "packet/ethernet.h"
+#include "packet/zigbee.h"
+
+namespace p4iot::gen {
+
+const char* mutation_kind_name(MutationKind kind) noexcept {
+  switch (kind) {
+    case MutationKind::kTruncate: return "truncate";
+    case MutationKind::kExtend: return "extend";
+    case MutationKind::kByteFlip: return "byte-flip";
+    case MutationKind::kBitFlip: return "bit-flip";
+    case MutationKind::kLengthLie: return "length-lie";
+    case MutationKind::kSplice: return "splice";
+    case MutationKind::kFill: return "fill";
+  }
+  return "?";
+}
+
+PacketMutator::PacketMutator(FuzzConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void PacketMutator::set_splice_donors(std::vector<pkt::Packet> donors) {
+  donors_ = std::move(donors);
+}
+
+MutationKind PacketMutator::pick_kind() {
+  const std::size_t i = rng_.weighted_pick(
+      std::span<const double>(config_.weights, kNumMutationKinds));
+  return static_cast<MutationKind>(i < kNumMutationKinds ? i : 0);
+}
+
+pkt::Packet PacketMutator::mutate(const pkt::Packet& base) {
+  pkt::Packet out = base;
+  const std::size_t rounds =
+      1 + rng_.next_below(std::max<std::size_t>(config_.max_mutations_per_packet, 1));
+  for (std::size_t r = 0; r < rounds; ++r) {
+    const MutationKind kind = pick_kind();
+    apply(kind, out.bytes, out.link);
+    ++stats_.mutations[static_cast<std::size_t>(kind)];
+  }
+  ++stats_.packets;
+  return out;
+}
+
+void PacketMutator::apply(MutationKind kind, common::ByteBuffer& bytes,
+                          pkt::LinkType link) {
+  switch (kind) {
+    case MutationKind::kTruncate:
+      // Uniform cut anywhere, including zero-length and mid-field cuts.
+      bytes.resize(rng_.next_below(bytes.size() + 1));
+      break;
+    case MutationKind::kExtend: {
+      if (bytes.size() >= config_.max_frame_bytes) break;
+      const std::size_t extra =
+          1 + rng_.next_below(config_.max_frame_bytes - bytes.size());
+      for (std::size_t i = 0; i < extra; ++i)
+        bytes.push_back(static_cast<std::uint8_t>(rng_.next_below(256)));
+      break;
+    }
+    case MutationKind::kByteFlip: {
+      if (bytes.empty()) break;
+      const std::size_t n = 1 + rng_.next_below(4);
+      for (std::size_t i = 0; i < n; ++i)
+        bytes[rng_.next_below(bytes.size())] =
+            static_cast<std::uint8_t>(rng_.next_below(256));
+      break;
+    }
+    case MutationKind::kBitFlip: {
+      if (bytes.empty()) break;
+      const std::size_t pos = rng_.next_below(bytes.size());
+      bytes[pos] ^= static_cast<std::uint8_t>(1u << rng_.next_below(8));
+      break;
+    }
+    case MutationKind::kLengthLie:
+      lie_about_length(bytes, link);
+      break;
+    case MutationKind::kSplice: {
+      if (donors_.empty()) {
+        bytes.resize(rng_.next_below(bytes.size() + 1));
+        break;
+      }
+      const auto& donor = donors_[rng_.next_below(donors_.size())].bytes;
+      const std::size_t keep = rng_.next_below(bytes.size() + 1);
+      const std::size_t from = donor.empty() ? 0 : rng_.next_below(donor.size());
+      bytes.resize(keep);
+      bytes.insert(bytes.end(), donor.begin() + static_cast<std::ptrdiff_t>(from),
+                   donor.end());
+      if (bytes.size() > config_.max_frame_bytes)
+        bytes.resize(config_.max_frame_bytes);
+      break;
+    }
+    case MutationKind::kFill: {
+      if (bytes.empty()) break;
+      const std::size_t start = rng_.next_below(bytes.size());
+      const std::size_t len = 1 + rng_.next_below(bytes.size() - start);
+      const std::uint8_t value = rng_.chance(0.5) ? 0x00 : 0xff;
+      std::fill_n(bytes.begin() + static_cast<std::ptrdiff_t>(start), len, value);
+      break;
+    }
+  }
+}
+
+void PacketMutator::lie_about_length(common::ByteBuffer& bytes, pkt::LinkType link) {
+  // Candidate (offset, width) length/control fields per radio. Only fields
+  // that exist in this frame are eligible; the written value is an extreme
+  // the real builders never emit.
+  struct Target { std::size_t offset, width; };
+  Target targets[6];
+  std::size_t n = 0;
+  switch (link) {
+    case pkt::LinkType::kEthernet:
+      targets[n++] = {pkt::kOffIpv4, 1};       // version/IHL
+      targets[n++] = {pkt::kOffIpv4 + 2, 2};   // ipv4.total_len
+      targets[n++] = {pkt::kOffL4 + 4, 2};     // udp.length / tcp.seq hi
+      targets[n++] = {pkt::kOffL4 + 12, 1};    // tcp.data_off
+      targets[n++] = {pkt::kOffL4 + 8 + 1, 1}; // MQTT/CoAP length byte (UDP payload)
+      targets[n++] = {pkt::kOffL4 + 20 + 1, 1};// MQTT remaining-length (TCP payload)
+      break;
+    case pkt::LinkType::kIeee802154:
+      targets[n++] = {0, 2};   // mac.frame_control
+      targets[n++] = {9, 2};   // nwk.frame_control
+      targets[n++] = {15, 1};  // nwk.radius
+      targets[n++] = {17, 1};  // aps.frame_control
+      break;
+    case pkt::LinkType::kBleLinkLayer:
+      targets[n++] = {pkt::kOffBleHeader, 1};      // pdu header
+      targets[n++] = {pkt::kOffBleHeader + 1, 1};  // btle.length
+      targets[n++] = {pkt::kOffBleL2cap, 2};       // l2cap.length
+      break;
+  }
+  if (n == 0 || bytes.empty()) return;
+  const Target t = targets[rng_.next_below(n)];
+  if (t.offset >= bytes.size()) return;
+  static constexpr std::uint64_t kLies[] = {0, 1, 0x7f, 0x80, 0xff, 0xffff};
+  std::uint64_t lie = kLies[rng_.next_below(std::size(kLies))];
+  for (std::size_t i = 0; i < t.width && t.offset + i < bytes.size(); ++i)
+    bytes[t.offset + i] =
+        static_cast<std::uint8_t>(lie >> (8 * (t.width - 1 - i)));
+}
+
+std::vector<pkt::Packet> seed_corpus(pkt::LinkType link) {
+  std::vector<pkt::Packet> seeds;
+  auto add = [&](common::ByteBuffer bytes) {
+    pkt::Packet p;
+    p.bytes = std::move(bytes);
+    p.link = link;
+    seeds.push_back(std::move(p));
+  };
+  switch (link) {
+    case pkt::LinkType::kEthernet: {
+      pkt::TcpFrameSpec tcp;
+      tcp.ip_src = pkt::Ipv4Address::from_octets(10, 0, 0, 5);
+      tcp.ip_dst = pkt::Ipv4Address::from_octets(10, 0, 0, 1);
+      tcp.src_port = 49152;
+      tcp.dst_port = 1883;
+      tcp.flags = pkt::kTcpPsh | pkt::kTcpAck;
+      tcp.payload = pkt::build_mqtt_publish("home/plug/power", {{0x30, 0x31}});
+      add(pkt::build_tcp_frame(tcp));
+
+      pkt::TcpFrameSpec syn = tcp;
+      syn.dst_port = 23;
+      syn.flags = pkt::kTcpSyn;
+      syn.payload.clear();
+      add(pkt::build_tcp_frame(syn));
+
+      pkt::UdpFrameSpec udp;
+      udp.ip_src = pkt::Ipv4Address::from_octets(10, 0, 0, 7);
+      udp.ip_dst = pkt::Ipv4Address::from_octets(172, 16, 0, 9);
+      udp.src_port = 5683;
+      udp.dst_port = 5683;
+      pkt::CoapMessage coap;
+      coap.code = 0x01;  // GET
+      coap.message_id = 7;
+      coap.uri_path = "sensors/temp";
+      udp.payload = pkt::build_coap(coap);
+      add(pkt::build_udp_frame(udp));
+
+      pkt::IcmpFrameSpec icmp;
+      icmp.ip_src = pkt::Ipv4Address::from_octets(10, 0, 0, 2);
+      icmp.ip_dst = pkt::Ipv4Address::from_octets(10, 0, 0, 3);
+      icmp.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+      add(pkt::build_icmp_frame(icmp));
+      break;
+    }
+    case pkt::LinkType::kIeee802154: {
+      pkt::ZigbeeFrameSpec unicast;
+      unicast.mac_src = 0x4a21;
+      unicast.mac_dst = 0x0000;
+      unicast.nwk_src = 0x4a21;
+      unicast.nwk_dst = 0x0000;
+      unicast.cluster_id = pkt::kClusterTempMeasurement;
+      unicast.payload = {0x18, 0x01, 0x0a, 0x00, 0x00, 0x29, 0x5e, 0x08};
+      add(pkt::build_zigbee_frame(unicast));
+
+      pkt::ZigbeeFrameSpec broadcast = unicast;
+      broadcast.nwk_dst = pkt::kZigbeeBroadcastAll;
+      broadcast.cluster_id = pkt::kClusterOnOff;
+      broadcast.payload = {0x01, 0x02, 0x01};
+      add(pkt::build_zigbee_frame(broadcast));
+
+      pkt::ZigbeeFrameSpec lock = unicast;
+      lock.cluster_id = pkt::kClusterDoorLock;
+      lock.dst_endpoint = 8;
+      lock.payload = {0x01, 0x44, 0x00};
+      add(pkt::build_zigbee_frame(lock));
+      break;
+    }
+    case pkt::LinkType::kBleLinkLayer: {
+      pkt::BleAdvSpec adv;
+      adv.pdu_type = pkt::kBleAdvNonconnInd;
+      adv.adv_addr = pkt::MacAddress{{0xc0, 0x11, 0x22, 0x33, 0x44, 0x55}};
+      adv.adv_data = {0x02, 0x01, 0x06, 0x03, 0x03, 0x0d, 0x18};
+      add(pkt::build_ble_adv(adv));
+
+      pkt::BleDataSpec notify;
+      notify.att_opcode = pkt::kAttNotify;
+      notify.att_handle = 0x002a;
+      notify.att_value = {0x48, 0x00};
+      add(pkt::build_ble_data(notify));
+
+      pkt::BleDataSpec write;
+      write.access_address = 0x60aa55e1;
+      write.att_opcode = pkt::kAttWriteReq;
+      write.att_handle = 0x0011;
+      write.att_value = {0x01};
+      add(pkt::build_ble_data(write));
+      break;
+    }
+  }
+  return seeds;
+}
+
+std::vector<pkt::Packet> build_fuzz_corpus(pkt::LinkType link, std::size_t count,
+                                           std::uint64_t seed) {
+  FuzzConfig config;
+  config.seed = seed ^ (0x9e3779b9u + static_cast<std::uint64_t>(link));
+  PacketMutator mutator(config);
+
+  // The other radios' seed frames are splice donors, so chimera headers
+  // cross every radio pair.
+  std::vector<pkt::Packet> donors;
+  for (auto other : {pkt::LinkType::kEthernet, pkt::LinkType::kIeee802154,
+                     pkt::LinkType::kBleLinkLayer}) {
+    if (other == link) continue;
+    auto s = seed_corpus(other);
+    donors.insert(donors.end(), std::make_move_iterator(s.begin()),
+                  std::make_move_iterator(s.end()));
+  }
+  mutator.set_splice_donors(std::move(donors));
+
+  const auto seeds = seed_corpus(link);
+  std::vector<pkt::Packet> corpus;
+  corpus.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    auto p = mutator.mutate(seeds[i % seeds.size()]);
+    p.timestamp_s = static_cast<double>(i) * 1e-4;
+    p.device_id = static_cast<std::uint32_t>(i % seeds.size());
+    corpus.push_back(std::move(p));
+  }
+  return corpus;
+}
+
+}  // namespace p4iot::gen

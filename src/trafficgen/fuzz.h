@@ -1,0 +1,98 @@
+// Seeded, deterministic packet mutation engine for robustness testing.
+//
+// The generators elsewhere in this directory emit *well-formed* frames; a
+// credible attack surface also includes truncated, corrupted and outright
+// lying traffic (GothX-style malformed generation). The mutator derives
+// adversarial frames from valid seeds with a fixed set of mutation
+// operators, all driven by one explicit seed, so every fuzz corpus is
+// reproducible bit-for-bit and any failure minimizes to a committable
+// regression case (tests/packet/corpus/).
+//
+// Operators:
+//   kTruncate   cut the frame short (including mid-field cuts)
+//   kExtend     append junk bytes past the legitimate end
+//   kByteFlip   overwrite 1..4 bytes with random values
+//   kBitFlip    flip a single bit (off-by-one-bit corruption)
+//   kLengthLie  write an extreme value into a protocol length/control field
+//               the parsers might be tempted to trust (ipv4.total_len,
+//               udp.length, btle.length, l2cap.length, MQTT remaining
+//               length, Zigbee frame-control words)
+//   kSplice     graft the tail of a frame from another radio onto a prefix
+//               of this one (chimera headers across Ethernet/802.15.4/BLE)
+//   kFill       overwrite a random region with 0x00 or 0xff runs
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "packet/packet.h"
+
+namespace p4iot::gen {
+
+enum class MutationKind : std::uint8_t {
+  kTruncate = 0,
+  kExtend = 1,
+  kByteFlip = 2,
+  kBitFlip = 3,
+  kLengthLie = 4,
+  kSplice = 5,
+  kFill = 6,
+};
+inline constexpr std::size_t kNumMutationKinds = 7;
+
+const char* mutation_kind_name(MutationKind kind) noexcept;
+
+struct FuzzConfig {
+  std::uint64_t seed = 0xf0cc;
+  /// 1..N operators applied per mutated frame (drawn uniformly).
+  std::size_t max_mutations_per_packet = 3;
+  /// Relative operator weights, indexed by MutationKind. Zero disables.
+  double weights[kNumMutationKinds] = {1, 1, 1, 1, 1, 1, 1};
+  /// Longest frame the kExtend operator may grow to.
+  std::size_t max_frame_bytes = 256;
+};
+
+struct FuzzStats {
+  std::uint64_t packets = 0;
+  std::uint64_t mutations[kNumMutationKinds] = {};
+};
+
+class PacketMutator {
+ public:
+  explicit PacketMutator(FuzzConfig config = {});
+
+  /// Frames (typically from other radios) the kSplice operator grafts from.
+  /// Without donors the splice operator degrades to a truncation.
+  void set_splice_donors(std::vector<pkt::Packet> donors);
+
+  /// Produce one mutated copy of `base` (label and metadata preserved).
+  pkt::Packet mutate(const pkt::Packet& base);
+
+  const FuzzStats& stats() const noexcept { return stats_; }
+  const FuzzConfig& config() const noexcept { return config_; }
+
+ private:
+  MutationKind pick_kind();
+  void apply(MutationKind kind, common::ByteBuffer& bytes, pkt::LinkType link);
+  void lie_about_length(common::ByteBuffer& bytes, pkt::LinkType link);
+
+  FuzzConfig config_;
+  common::Rng rng_;
+  std::vector<pkt::Packet> donors_;
+  FuzzStats stats_;
+};
+
+/// Representative well-formed seed frames for one radio: one of each traffic
+/// shape the scenario generators emit (TCP/UDP/ICMP with MQTT and CoAP
+/// payloads for Ethernet; unicast/broadcast data frames for Zigbee;
+/// advertising and ATT data PDUs for BLE).
+std::vector<pkt::Packet> seed_corpus(pkt::LinkType link);
+
+/// Deterministic fuzz corpus: `count` mutated frames for one radio, derived
+/// from seed_corpus(link) with the other radios' seeds as splice donors.
+/// Same (link, count, seed) → byte-identical corpus.
+std::vector<pkt::Packet> build_fuzz_corpus(pkt::LinkType link, std::size_t count,
+                                           std::uint64_t seed);
+
+}  // namespace p4iot::gen

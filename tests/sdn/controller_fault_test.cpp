@@ -1,0 +1,190 @@
+// Control-plane failure paths under injected faults: oracle silence over a
+// full drift window, southbound install failures mid-swap (the transactional
+// rollback must keep the old table serving), delayed labels, and the
+// retrain_min_samples guard. Companion to controller_test.cpp, which covers
+// the fault-free loop.
+#include <gtest/gtest.h>
+
+#include "sdn/controller.h"
+#include "trafficgen/datasets.h"
+#include "trafficgen/wifi_gen.h"
+
+namespace p4iot::sdn {
+namespace {
+
+ControllerConfig fast_config() {
+  ControllerConfig config;
+  config.pipeline.stage1.probe.epochs = 6;
+  config.pipeline.stage1.probe.hidden_sizes = {24, 12};
+  config.pipeline.stage1.autoencoder.epochs = 5;
+  config.pipeline.stage1.autoencoder.encoder_sizes = {16, 8};
+  config.sample_probability = 0.5;
+  config.retrain_min_samples = 200;
+  config.drift_window = 100;
+  config.min_retrain_gap_s = 2.0;
+  return config;
+}
+
+LabelOracle truth_oracle() {
+  return [](const pkt::Packet& p) { return std::optional<bool>(p.is_attack()); };
+}
+
+LabelOracle silent_oracle() {
+  return [](const pkt::Packet&) { return std::optional<bool>(); };
+}
+
+pkt::Trace wifi_trace(std::vector<pkt::AttackType> attacks, std::uint64_t seed,
+                      double duration = 15.0) {
+  auto cfg = gen::ScenarioConfig::with_default_attacks(seed, duration,
+                                                       std::move(attacks), 30.0);
+  cfg.benign_devices = 6;
+  return gen::generate_wifi_trace(cfg);
+}
+
+std::size_t count_events(const Controller& c, ControllerEventType type) {
+  std::size_t n = 0;
+  for (const auto& e : c.events()) n += e.type == type ? 1 : 0;
+  return n;
+}
+
+TEST(ControllerFaults, SilentOracleForFullWindowEntersDegradedMode) {
+  Controller controller(fast_config(), silent_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 21)));
+  EXPECT_FALSE(controller.degraded());
+
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 22, 20.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+
+  // Every sampled packet lost its label: the drift detector is blind.
+  EXPECT_TRUE(controller.degraded());
+  EXPECT_GE(count_events(controller, ControllerEventType::kOracleSilent), 1u);
+  EXPECT_GE(controller.stats().max_oracle_silent_streak,
+            static_cast<std::uint64_t>(fast_config().drift_window));
+  EXPECT_GT(controller.stats().labels_lost, 0u);
+  EXPECT_EQ(controller.stats().labels_applied, 0u);
+  EXPECT_EQ(controller.retrain_count(), 0u);  // no labels → no drift signal
+  EXPECT_GE(controller.stats().degraded_entries, 1u);
+}
+
+TEST(ControllerFaults, FreshLabelClearsOracleSilenceDegradation) {
+  auto config = fast_config();
+  config.faults.drop_label_probability = 1.0;  // injected total label loss
+  Controller controller(config, truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 23)));
+
+  const auto live = wifi_trace({pkt::AttackType::kSynFlood}, 24, 10.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+  ASSERT_TRUE(controller.degraded());
+  EXPECT_EQ(controller.fault_counters().labels_dropped,
+            controller.stats().labels_lost);
+
+  // Faults recover: a fresh label ends the silence.
+  Controller recovered(fast_config(), truth_oracle());
+  ASSERT_TRUE(recovered.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 23)));
+  for (const auto& p : live.packets()) recovered.handle(p);
+  EXPECT_FALSE(recovered.degraded());
+  EXPECT_EQ(recovered.stats().oracle_silent_streak, 0u);
+}
+
+TEST(ControllerFaults, FailedInstallMidSwapRollsBackAndOldTableKeepsServing) {
+  auto config = fast_config();
+  config.min_retrain_gap_s = 5.0;
+  config.faults.fail_first_installs = 100;  // every post-bootstrap swap fails
+  Controller controller(config, truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 25)));
+  const auto rules_before = controller.data_plane().table().entry_count();
+  ASSERT_GT(rules_before, 0u);
+
+  // Drift hard enough to trigger a retrain; every swap attempt fails.
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 26, 25.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+
+  ASSERT_GE(controller.stats().installs_failed, 1u);
+  EXPECT_EQ(controller.stats().rollbacks, controller.stats().installs_failed);
+  EXPECT_EQ(count_events(controller, ControllerEventType::kRollback),
+            controller.stats().rollbacks);
+  EXPECT_GE(count_events(controller, ControllerEventType::kInstallFailed), 1u);
+  EXPECT_EQ(controller.retrain_count(), 0u);  // nothing actually swapped
+  EXPECT_TRUE(controller.degraded());
+
+  // The pre-failure table is still serving: same entry count, and the
+  // bootstrap-era attack is still being dropped.
+  EXPECT_EQ(controller.data_plane().table().entry_count(), rules_before);
+  const auto wave = wifi_trace({pkt::AttackType::kSynFlood}, 27);
+  std::size_t drops = 0, attacks = 0;
+  for (const auto& p : wave.packets()) {
+    if (!p.is_attack()) continue;
+    ++attacks;
+    drops += controller.mutable_data_plane().process(p).action ==
+                     p4::ActionOp::kDrop
+                 ? 1
+                 : 0;
+  }
+  ASSERT_GT(attacks, 50u);
+  EXPECT_GT(static_cast<double>(drops) / static_cast<double>(attacks), 0.8);
+}
+
+TEST(ControllerFaults, RecoversWhenInstallsStartSucceeding) {
+  auto config = fast_config();
+  config.min_retrain_gap_s = 6.0;
+  config.faults.fail_first_installs = 1;  // first retrain swap fails, rest work
+  Controller controller(config, truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 28)));
+
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 29, 30.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+
+  EXPECT_EQ(controller.stats().rollbacks, 1u);
+  EXPECT_GE(controller.retrain_count(), 1u);  // a later swap succeeded
+  EXPECT_FALSE(controller.degraded());       // success cleared the rollback
+}
+
+TEST(ControllerFaults, RetrainMinSamplesGateBlocksRetraining) {
+  auto config = fast_config();
+  config.retrain_min_samples = 100000;  // unreachable in this trace
+  Controller controller(config, truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 30)));
+
+  const auto live = wifi_trace({pkt::AttackType::kBruteForce}, 31, 20.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+
+  // Misses accumulate (the new attack slips through) but the sample gate
+  // holds: no drift event, no retrain, no swap.
+  EXPECT_EQ(controller.retrain_count(), 0u);
+  EXPECT_EQ(count_events(controller, ControllerEventType::kDriftDetected), 0u);
+  EXPECT_EQ(controller.stats().installs_failed, 0u);
+}
+
+TEST(ControllerFaults, DelayedLabelsAreEventuallyApplied) {
+  auto config = fast_config();
+  config.faults.delay_label_probability = 0.5;
+  config.faults.delay_packets = 16;
+  Controller controller(config, truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 32)));
+
+  const auto live = wifi_trace({pkt::AttackType::kSynFlood}, 33, 10.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+
+  EXPECT_GT(controller.stats().labels_delayed, 0u);
+  EXPECT_EQ(controller.fault_counters().labels_delayed,
+            controller.stats().labels_delayed);
+  // Every delayed label whose due time passed was applied, not lost; at most
+  // delay_packets worth can still be in flight.
+  EXPECT_GT(controller.stats().labels_applied, 0u);
+  EXPECT_EQ(controller.stats().labels_lost, 0u);
+  EXPECT_FALSE(controller.degraded());
+}
+
+TEST(ControllerFaults, StatsAccountForEveryPacket) {
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 34)));
+  const auto live = wifi_trace({pkt::AttackType::kSynFlood}, 35, 5.0);
+  for (const auto& p : live.packets()) controller.handle(p);
+  EXPECT_EQ(controller.stats().packets, live.size());
+  EXPECT_EQ(controller.stats().labels_lost, 0u);
+  EXPECT_EQ(controller.stats().installs_failed, 0u);
+  EXPECT_EQ(controller.stats().degraded_entries, 0u);
+}
+
+}  // namespace
+}  // namespace p4iot::sdn
