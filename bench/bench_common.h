@@ -6,6 +6,11 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <system_error>
 
 #include "common/rng.h"
 #include "common/table.h"
@@ -13,6 +18,29 @@
 #include "trafficgen/datasets.h"
 
 namespace p4iot::bench {
+
+/// Bench artifact directory (CSV series, metric snapshots). Resolution
+/// order: `--out-dir DIR` / `--out-dir=DIR` on the bench command line, then
+/// the P4IOT_BENCH_OUT environment variable, then `results/` under the CWD.
+/// The directory is created on demand so `build/bench/bench_rX` works from a
+/// clean checkout without scattering CSVs into the repo root.
+inline std::string out_dir(int argc, char** argv) {
+  std::string dir = "results";
+  if (const char* env = std::getenv("P4IOT_BENCH_OUT"); env && *env) dir = env;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--out-dir" && i + 1 < argc) dir = argv[i + 1];
+    else if (arg.starts_with("--out-dir=")) dir = std::string(arg.substr(10));
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);  // ok if it already exists
+  return dir;
+}
+
+/// Full path for a bench artifact inside out_dir().
+inline std::string out_path(int argc, char** argv, std::string_view filename) {
+  return (std::filesystem::path(out_dir(argc, argv)) / filename).string();
+}
 
 inline gen::DatasetOptions standard_options(std::uint64_t seed = 42) {
   gen::DatasetOptions options;

@@ -9,7 +9,7 @@
 
 using namespace p4iot;
 
-int main() {
+int main(int argc, char** argv) {
   common::TextTable table("R3: Accuracy vs number of selected fields k");
   table.set_header({"dataset", "k", "accuracy", "recall", "f1", "entries", "tcam_bits",
                     "key_bits"});
@@ -45,7 +45,8 @@ int main() {
     }
   }
   table.print();
-  if (csv.write_file("r3_fields_sweep.csv"))
-    std::printf("series written to r3_fields_sweep.csv\n");
+  const auto csv_path = bench::out_path(argc, argv, "r3_fields_sweep.csv");
+  if (csv.write_file(csv_path))
+    std::printf("series written to %s\n", csv_path.c_str());
   return 0;
 }

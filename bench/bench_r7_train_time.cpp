@@ -10,7 +10,7 @@
 
 using namespace p4iot;
 
-int main() {
+int main(int argc, char** argv) {
   common::TextTable table("R7: Pipeline fit time vs training-trace size (wifi_ip, k=4)");
   table.set_header({"packets", "stage1_s", "stage2_s", "total_s", "entries"});
   common::CsvWriter csv;
@@ -36,7 +36,8 @@ int main() {
                  common::TextTable::num(t.total_seconds, 4)});
   }
   table.print();
-  if (csv.write_file("r7_train_time.csv"))
-    std::printf("series written to r7_train_time.csv\n");
+  const auto csv_path = bench::out_path(argc, argv, "r7_train_time.csv");
+  if (csv.write_file(csv_path))
+    std::printf("series written to %s\n", csv_path.c_str());
   return 0;
 }

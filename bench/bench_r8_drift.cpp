@@ -32,7 +32,7 @@ pkt::Trace drift_trace(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   // Bootstrap capture: benign + SYN flood only.
   gen::ScenarioConfig boot_config;
   boot_config.seed = 7;
@@ -132,6 +132,7 @@ int main() {
                     common::TextTable::num(e.observed_miss_rate, 2)});
   }
   events.print();
-  if (csv.write_file("r8_drift.csv")) std::printf("series written to r8_drift.csv\n");
+  const auto csv_path = bench::out_path(argc, argv, "r8_drift.csv");
+  if (csv.write_file(csv_path)) std::printf("series written to %s\n", csv_path.c_str());
   return 0;
 }

@@ -1,16 +1,36 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
+#include <mutex>
 
 namespace p4iot::common {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Sink state outlives every static-destruction-order hazard: leaked on exit.
+std::mutex& sink_mutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+LogSink& sink_storage() {
+  static LogSink* sink = new LogSink();
+  return *sink;
+}
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(level, std::memory_order_relaxed);
 }
 
-void set_log_level(LogLevel level) noexcept { g_level = level; }
-LogLevel log_level() noexcept { return g_level; }
+LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_sink(LogSink sink) {
+  std::lock_guard lock(sink_mutex());
+  sink_storage() = std::move(sink);
+}
 
 const char* log_level_name(LogLevel level) noexcept {
   switch (level) {
@@ -24,14 +44,19 @@ const char* log_level_name(LogLevel level) noexcept {
 }
 
 void log_message(LogLevel level, std::string_view component, std::string_view message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  std::lock_guard lock(sink_mutex());
+  if (const LogSink& sink = sink_storage()) {
+    sink(level, component, message);
+    return;
+  }
   std::fprintf(stderr, "[%s] %.*s: %.*s\n", log_level_name(level),
                static_cast<int>(component.size()), component.data(),
                static_cast<int>(message.size()), message.data());
 }
 
 void logf(LogLevel level, std::string_view component, const char* fmt, ...) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
   char buf[1024];
   va_list args;
   va_start(args, fmt);

@@ -1,10 +1,12 @@
 // Minimal leveled logger writing to stderr.
 //
 // The library itself logs sparingly (warnings and controller events); benches
-// and examples raise the level for progress output. Not thread-safe by design
-// — the simulator is single-threaded; revisit if that changes.
+// and examples raise the level for progress output. Thread-safe: the level is
+// an atomic and sink writes are mutex-serialized, so the multi-worker engine
+// and the controller can log concurrently without interleaving lines.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -22,6 +24,13 @@ void log_message(LogLevel level, std::string_view component, std::string_view me
 /// printf-style convenience wrapper.
 void logf(LogLevel level, std::string_view component, const char* fmt, ...)
     __attribute__((format(printf, 3, 4)));
+
+/// Replace the output sink (nullptr restores the default stderr sink).
+/// Invocations are serialized by the logger's mutex — the sink itself needs
+/// no locking. Used by tests to capture output.
+using LogSink =
+    std::function<void(LogLevel, std::string_view component, std::string_view message)>;
+void set_log_sink(LogSink sink);
 
 const char* log_level_name(LogLevel level) noexcept;
 

@@ -1,0 +1,296 @@
+#include "common/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+
+namespace p4iot::common::telemetry {
+
+std::uint64_t now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+std::size_t LatencyHistogram::bucket_index(std::uint64_t ns) noexcept {
+  if (ns == 0) return 0;
+  const auto idx = static_cast<std::size_t>(std::bit_width(ns));
+  return std::min(idx, kBuckets - 1);
+}
+
+std::uint64_t LatencyHistogram::bucket_lower(std::size_t i) noexcept {
+  return i == 0 ? 0 : (1ull << (i - 1));
+}
+
+std::uint64_t LatencyHistogram::bucket_upper(std::size_t i) noexcept {
+  if (i == 0) return 0;
+  if (i >= kBuckets - 1) return ~0ull;
+  return (1ull << i) - 1;
+}
+
+void LatencyHistogram::record(std::uint64_t ns) noexcept {
+  buckets_[bucket_index(ns)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(ns, std::memory_order_relaxed);
+  std::uint64_t seen = max_.load(std::memory_order_relaxed);
+  while (ns > seen &&
+         !max_.compare_exchange_weak(seen, ns, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const noexcept {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void LatencyHistogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void HistogramSnapshot::merge(const HistogramSnapshot& other) noexcept {
+  for (std::size_t i = 0; i < buckets.size(); ++i) buckets[i] += other.buckets[i];
+  count += other.count;
+  sum += other.sum;
+  max = std::max(max, other.max);
+}
+
+double HistogramSnapshot::mean() const noexcept {
+  return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+}
+
+double HistogramSnapshot::percentile(double pct) const noexcept {
+  if (count == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  const double target = pct / 100.0 * static_cast<double>(count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (buckets[i] == 0) continue;
+    const auto before = cumulative;
+    cumulative += buckets[i];
+    if (static_cast<double>(cumulative) >= target) {
+      const auto lower = static_cast<double>(LatencyHistogram::bucket_lower(i));
+      // The top bucket is open-ended; the observed max is its honest bound.
+      const double upper =
+          i >= buckets.size() - 1
+              ? static_cast<double>(max)
+              : static_cast<double>(LatencyHistogram::bucket_upper(i));
+      const double within =
+          std::clamp((target - static_cast<double>(before)) /
+                         static_cast<double>(buckets[i]),
+                     0.0, 1.0);
+      return std::min(lower + (upper - lower) * within, static_cast<double>(max));
+    }
+  }
+  return static_cast<double>(max);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+Registry& Registry::global() {
+  static Registry* instance = new Registry();  // never destroyed: components
+  return *instance;                            // hold references at exit
+}
+
+namespace {
+// Kind-mismatch fallbacks: a misnamed registration must not crash the data
+// plane, it just records into a sink nobody exports.
+Counter& dummy_counter() { static Counter c; return c; }
+Gauge& dummy_gauge() { static Gauge g; return g; }
+LatencyHistogram& dummy_histogram() { static LatencyHistogram h; return h; }
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot{MetricKind::kCounter, std::string(help),
+              std::make_unique<Counter>(), nullptr, nullptr};
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  if (it->second.kind != MetricKind::kCounter) return dummy_counter();
+  return *it->second.counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot{MetricKind::kGauge, std::string(help), nullptr,
+              std::make_unique<Gauge>(), nullptr};
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  if (it->second.kind != MetricKind::kGauge) return dummy_gauge();
+  return *it->second.gauge;
+}
+
+LatencyHistogram& Registry::histogram(std::string_view name, std::string_view help) {
+  std::lock_guard lock(mutex_);
+  auto it = slots_.find(name);
+  if (it == slots_.end()) {
+    Slot slot{MetricKind::kHistogram, std::string(help), nullptr, nullptr,
+              std::make_unique<LatencyHistogram>()};
+    it = slots_.emplace(std::string(name), std::move(slot)).first;
+  }
+  if (it->second.kind != MetricKind::kHistogram) return dummy_histogram();
+  return *it->second.histogram;
+}
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(name);
+  return it != slots_.end() && it->second.kind == MetricKind::kCounter
+             ? it->second.counter.get()
+             : nullptr;
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(name);
+  return it != slots_.end() && it->second.kind == MetricKind::kGauge
+             ? it->second.gauge.get()
+             : nullptr;
+}
+
+const LatencyHistogram* Registry::find_histogram(std::string_view name) const {
+  std::lock_guard lock(mutex_);
+  const auto it = slots_.find(name);
+  return it != slots_.end() && it->second.kind == MetricKind::kHistogram
+             ? it->second.histogram.get()
+             : nullptr;
+}
+
+std::vector<Registry::MetricRef> Registry::metrics() const {
+  std::lock_guard lock(mutex_);
+  std::vector<MetricRef> refs;
+  refs.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) {
+    refs.push_back({name, slot.help, slot.kind, slot.counter.get(),
+                    slot.gauge.get(), slot.histogram.get()});
+  }
+  return refs;  // std::map iteration → sorted by name, stable for goldens
+}
+
+std::size_t Registry::size() const {
+  std::lock_guard lock(mutex_);
+  return slots_.size();
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, slot] : slots_) {
+    if (slot.counter) slot.counter->reset();
+    if (slot.gauge) slot.gauge->reset();
+    if (slot.histogram) slot.histogram->reset();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SpanRecorder
+
+SpanRecorder::SpanRecorder(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {
+  ring_.reserve(capacity_);
+}
+
+SpanRecorder& SpanRecorder::global() {
+  static SpanRecorder* instance = new SpanRecorder();
+  return *instance;
+}
+
+void SpanRecorder::record(Span span) {
+  if (span.thread_id == 0) span.thread_id = thread_ordinal();
+  std::lock_guard lock(mutex_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(span));
+  } else {
+    ring_[next_] = std::move(span);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_;
+}
+
+std::vector<Span> SpanRecorder::snapshot() const {
+  std::lock_guard lock(mutex_);
+  std::vector<Span> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // `next_` is the oldest slot once the ring is full.
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+      out.push_back(ring_[(next_ + i) % capacity_]);
+  }
+  return out;
+}
+
+std::size_t SpanRecorder::size() const {
+  std::lock_guard lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t SpanRecorder::total_recorded() const {
+  std::lock_guard lock(mutex_);
+  return total_;
+}
+
+void SpanRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+std::uint32_t thread_ordinal() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+// ---------------------------------------------------------------------------
+// Sampling config
+
+namespace {
+std::atomic<bool> g_stage_timing_enabled{true};
+std::atomic<unsigned> g_stage_sampling_shift{kDefaultStageSamplingShift};
+}  // namespace
+
+void set_stage_timing_enabled(bool enabled) noexcept {
+  g_stage_timing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool stage_timing_enabled() noexcept {
+  return g_stage_timing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_stage_sampling_shift(unsigned shift) noexcept {
+  g_stage_sampling_shift.store(std::min(shift, 63u), std::memory_order_relaxed);
+}
+
+unsigned stage_sampling_shift() noexcept {
+  return g_stage_sampling_shift.load(std::memory_order_relaxed);
+}
+
+}  // namespace p4iot::common::telemetry

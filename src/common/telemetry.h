@@ -1,0 +1,275 @@
+// Runtime telemetry: process-wide metric registry and span recorder.
+//
+// The data plane runs unattended at line rate, so its health has to be
+// readable without stopping it. Three primitives cover the need:
+//
+//   * Counter / Gauge — relaxed-atomic scalars. A Counter only goes up
+//     (packets, cache hits); a Gauge is set to the latest observation
+//     (queue depth, occupancy, degraded flag). Both are safe to touch from
+//     any thread with no lock on the hot path.
+//   * LatencyHistogram — fixed log2-bucket histogram of nanosecond values.
+//     Buckets are relaxed atomics, so every engine worker records into the
+//     same histogram and a snapshot is automatically the cross-worker
+//     merge; p50/p95/p99/max are derived from the bucket counts.
+//   * SpanRecorder — bounded ring buffer of named begin/end events (the
+//     controller swap lifecycle build→install→verify→retire/rollback, the
+//     engine's batch dispatches). Old spans are overwritten, never
+//     reallocated, so recording cost is flat.
+//
+// Metrics live in a Registry keyed by Prometheus-style names
+// (`p4iot_<subsystem>_<metric>[_<unit>|_total]`, optional `{label="v"}`
+// suffix). Components look their metrics up once at construction and then
+// only touch atomics. Registry::global() is the process instance the
+// exporters (see telemetry_export.h) serialize; tests may build their own.
+//
+// Overhead budget (see DESIGN.md §8): counters are a relaxed fetch_add;
+// per-stage latency timing is *sampled* — one packet in 2^shift (default
+// 1/64) pays the clock reads — and can be disabled entirely, so the
+// instrumented R12 workload stays within 5% of the uninstrumented one.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p4iot::common::telemetry {
+
+/// Monotonic nanoseconds (steady clock); the time base for histograms and
+/// spans. Not wall time — only differences and ordering are meaningful.
+std::uint64_t now_ns() noexcept;
+
+// ---------------------------------------------------------------------------
+// Scalar metrics
+
+/// Monotonically increasing counter. All operations are wait-free.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-observation gauge (double so rates and fractions fit).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// ---------------------------------------------------------------------------
+// Latency histogram
+
+struct HistogramSnapshot;
+
+/// Log2-bucketed nanosecond histogram. Bucket 0 holds the value 0; bucket i
+/// (i >= 1) holds values in [2^(i-1), 2^i - 1]. 40 buckets reach ~9 minutes,
+/// beyond any per-packet or per-swap latency this repo can produce.
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 40;
+
+  void record(std::uint64_t ns) noexcept;
+  HistogramSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+  /// Bucket value bounds (inclusive), shared with snapshots and exporters.
+  static std::uint64_t bucket_lower(std::size_t i) noexcept;
+  static std::uint64_t bucket_upper(std::size_t i) noexcept;
+  static std::size_t bucket_index(std::uint64_t ns) noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Point-in-time copy of a histogram; mergeable across workers/processes.
+struct HistogramSnapshot {
+  std::array<std::uint64_t, LatencyHistogram::kBuckets> buckets{};
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t max = 0;
+
+  void merge(const HistogramSnapshot& other) noexcept;
+  double mean() const noexcept;
+  /// Percentile in [0,100] estimated by linear interpolation inside the
+  /// bucket where the cumulative count crosses; exact values always fall in
+  /// the same bucket, so the error is bounded by the bucket width.
+  double percentile(double pct) const noexcept;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+enum class MetricKind : std::uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+const char* metric_kind_name(MetricKind kind) noexcept;
+
+/// Named metric store. Registration takes a lock; the returned references
+/// are stable for the registry's lifetime, so hot paths hold them and never
+/// look up again. Registering an existing name with a matching kind returns
+/// the same object (components share series); a kind mismatch is a naming
+/// bug and yields a process-wide dummy so the caller stays safe.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry the exporters serialize by default.
+  static Registry& global();
+
+  Counter& counter(std::string_view name, std::string_view help = {});
+  Gauge& gauge(std::string_view name, std::string_view help = {});
+  LatencyHistogram& histogram(std::string_view name, std::string_view help = {});
+
+  /// Convenience for publish-time gauges (set an absolute observation).
+  void set_gauge(std::string_view name, double value, std::string_view help = {}) {
+    gauge(name, help).set(value);
+  }
+
+  /// nullptr when the name is absent or registered as another kind.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const LatencyHistogram* find_histogram(std::string_view name) const;
+
+  /// Stable view for exporters: (name, help, kind, object) sorted by name.
+  struct MetricRef {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    const Counter* counter = nullptr;
+    const Gauge* gauge = nullptr;
+    const LatencyHistogram* histogram = nullptr;
+  };
+  std::vector<MetricRef> metrics() const;
+
+  std::size_t size() const;
+  /// Zero every value, keep every registration (handles stay valid). Used
+  /// by tests and benches to start from a clean sheet.
+  void reset_values();
+
+ private:
+  struct Slot {
+    MetricKind kind;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LatencyHistogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Slot, std::less<>> slots_;
+};
+
+// ---------------------------------------------------------------------------
+// Spans
+
+/// One completed named interval on the telemetry timeline.
+struct Span {
+  std::string name;      ///< e.g. "controller.swap", "engine.batch"
+  std::string category;  ///< exporter grouping, e.g. "controller"
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  std::uint32_t thread_id = 0;  ///< small per-process thread ordinal
+  std::string note;             ///< outcome / context, e.g. "ok", "rollback"
+
+  std::uint64_t duration_ns() const noexcept {
+    return end_ns >= start_ns ? end_ns - start_ns : 0;
+  }
+};
+
+/// Bounded ring of completed spans: the newest `capacity` spans win,
+/// recording never allocates past warm-up and never blocks on an exporter.
+class SpanRecorder {
+ public:
+  explicit SpanRecorder(std::size_t capacity = 4096);
+
+  static SpanRecorder& global();
+
+  void record(Span span);
+  /// RAII helper: times construction→destruction, then records.
+  class Scoped {
+   public:
+    Scoped(SpanRecorder& recorder, std::string name, std::string category)
+        : recorder_(recorder), name_(std::move(name)),
+          category_(std::move(category)), start_ns_(now_ns()) {}
+    ~Scoped() { recorder_.record({std::move(name_), std::move(category_),
+                                  start_ns_, now_ns(), 0, std::move(note_)}); }
+    Scoped(const Scoped&) = delete;
+    Scoped& operator=(const Scoped&) = delete;
+    void set_note(std::string note) { note_ = std::move(note); }
+
+   private:
+    SpanRecorder& recorder_;
+    std::string name_, category_;
+    std::uint64_t start_ns_;
+    std::string note_;
+  };
+
+  /// Retained spans, oldest first.
+  std::vector<Span> snapshot() const;
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const;
+  /// Total record() calls ever (size() stops at capacity; the difference is
+  /// how many spans the ring has overwritten).
+  std::uint64_t total_recorded() const;
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Span> ring_;
+  std::size_t capacity_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Small per-process ordinal for the calling thread (stable per thread);
+/// keeps trace-JSON tids readable instead of opaque pthread handles.
+std::uint32_t thread_ordinal() noexcept;
+
+// ---------------------------------------------------------------------------
+// Stage-timing sampling control (see header comment for the budget).
+
+inline constexpr unsigned kDefaultStageSamplingShift = 6;  ///< 1 in 64
+
+void set_stage_timing_enabled(bool enabled) noexcept;
+bool stage_timing_enabled() noexcept;
+/// Sample 1 in 2^shift packets when timing is enabled (0 = every packet).
+void set_stage_sampling_shift(unsigned shift) noexcept;
+unsigned stage_sampling_shift() noexcept;
+
+/// Per-instance sampling ticket: cheap local tick, global config read.
+/// Owned by one thread (each engine worker owns its switch), so the tick
+/// itself needs no atomicity.
+class StageSampler {
+ public:
+  bool should_sample() noexcept {
+    if (!stage_timing_enabled()) return false;
+    const unsigned shift = stage_sampling_shift();
+    return ((++tick_) & ((1ull << shift) - 1)) == 0;
+  }
+
+ private:
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace p4iot::common::telemetry

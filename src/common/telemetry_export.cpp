@@ -1,0 +1,184 @@
+#include "common/telemetry_export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <utility>
+
+namespace p4iot::common::telemetry {
+
+namespace {
+
+/// Prometheus sample values: integers print exactly, fractions compactly.
+std::string format_value(double v) {
+  if (std::isfinite(v) && v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+/// `name{worker="3"}` → base `name` (TYPE/HELP lines take the bare name).
+std::string_view base_name(std::string_view name) {
+  const auto brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
+void append_meta(std::string& out, std::string_view name, std::string_view help,
+                 const char* type) {
+  if (!help.empty()) {
+    out += "# HELP ";
+    out += name;
+    out += ' ';
+    out += help;
+    out += '\n';
+  }
+  out += "# TYPE ";
+  out += name;
+  out += ' ';
+  out += type;
+  out += '\n';
+}
+
+void append_sample(std::string& out, std::string_view name, double value) {
+  out += name;
+  out += ' ';
+  out += format_value(value);
+  out += '\n';
+}
+
+void append_histogram(std::string& out, const Registry::MetricRef& ref) {
+  const auto snap = ref.histogram->snapshot();
+  const auto base = base_name(ref.name);
+  append_meta(out, base, ref.help, "histogram");
+
+  // Cumulative buckets up to the last non-empty one, then +Inf.
+  std::uint64_t cumulative = 0;
+  std::size_t last_used = 0;
+  for (std::size_t i = 0; i < snap.buckets.size(); ++i)
+    if (snap.buckets[i] > 0) last_used = i;
+  for (std::size_t i = 0; i <= last_used && snap.count > 0; ++i) {
+    cumulative += snap.buckets[i];
+    out += base;
+    out += "_bucket{le=\"";
+    out += format_value(static_cast<double>(LatencyHistogram::bucket_upper(i)));
+    out += "\"} ";
+    out += format_value(static_cast<double>(cumulative));
+    out += '\n';
+  }
+  out += base;
+  out += "_bucket{le=\"+Inf\"} ";
+  out += format_value(static_cast<double>(snap.count));
+  out += '\n';
+  append_sample(out, std::string(base) + "_sum", static_cast<double>(snap.sum));
+  append_sample(out, std::string(base) + "_count", static_cast<double>(snap.count));
+
+  // Derived percentiles, grep-ready.
+  static constexpr std::pair<const char*, double> kPercentiles[] = {
+      {"_p50", 50.0}, {"_p95", 95.0}, {"_p99", 99.0}};
+  for (const auto& [suffix, pct] : kPercentiles) {
+    const std::string name = std::string(base) + suffix;
+    append_meta(out, name, {}, "gauge");
+    append_sample(out, name, snap.percentile(pct));
+  }
+  const std::string max_name = std::string(base) + "_max";
+  append_meta(out, max_name, {}, "gauge");
+  append_sample(out, max_name, static_cast<double>(snap.max));
+}
+
+void json_escape(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  std::string_view last_base;  // suppress repeated TYPE for a labelled family
+  for (const auto& ref : registry.metrics()) {
+    switch (ref.kind) {
+      case MetricKind::kCounter: {
+        const auto base = base_name(ref.name);
+        if (base != last_base) append_meta(out, base, ref.help, "counter");
+        append_sample(out, ref.name, static_cast<double>(ref.counter->value()));
+        last_base = base;
+        break;
+      }
+      case MetricKind::kGauge: {
+        const auto base = base_name(ref.name);
+        if (base != last_base) append_meta(out, base, ref.help, "gauge");
+        append_sample(out, ref.name, ref.gauge->value());
+        last_base = base;
+        break;
+      }
+      case MetricKind::kHistogram:
+        append_histogram(out, ref);
+        last_base = {};
+        break;
+    }
+  }
+  return out;
+}
+
+std::string render_trace_json(const SpanRecorder& recorder) {
+  // Trace event format: "X" (complete) events with microsecond ts/dur.
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& span : recorder.snapshot()) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    json_escape(out, span.name);
+    out += "\",\"cat\":\"";
+    json_escape(out, span.category);
+    out += "\",\"ph\":\"X\",\"pid\":1,\"tid\":";
+    out += std::to_string(span.thread_id);
+    char buf[64];
+    std::snprintf(buf, sizeof buf, ",\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(span.start_ns) / 1e3,
+                  static_cast<double>(span.duration_ns()) / 1e3);
+    out += buf;
+    if (!span.note.empty()) {
+      out += ",\"args\":{\"note\":\"";
+      json_escape(out, span.note);
+      out += "\"}";
+    }
+    out += '}';
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool write_prometheus(const std::string& path, const Registry& registry) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << render_prometheus(registry);
+  return static_cast<bool>(file);
+}
+
+bool write_trace_json(const std::string& path, const SpanRecorder& recorder) {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) return false;
+  file << render_trace_json(recorder);
+  return static_cast<bool>(file);
+}
+
+}  // namespace p4iot::common::telemetry

@@ -1,0 +1,32 @@
+// Serializers for the telemetry layer (see telemetry.h).
+//
+// Two consumer formats:
+//   * Prometheus text exposition (v0.0.4): counters/gauges as single
+//     samples, histograms as cumulative `_bucket{le=...}` series plus
+//     `_sum`/`_count` and derived `_p50/_p95/_p99/_max` gauges so a plain
+//     `grep` of the snapshot answers "what's the tail latency" without a
+//     query engine.
+//   * chrome://tracing JSON ("trace event format", complete "X" events)
+//     for spans — load the file in chrome://tracing or Perfetto to see the
+//     controller swap lifecycle and engine batch dispatches on a timeline.
+#pragma once
+
+#include <string>
+
+#include "common/telemetry.h"
+
+namespace p4iot::common::telemetry {
+
+/// Render the registry as Prometheus text exposition.
+std::string render_prometheus(const Registry& registry = Registry::global());
+
+/// Render retained spans as a chrome://tracing JSON document.
+std::string render_trace_json(const SpanRecorder& recorder = SpanRecorder::global());
+
+/// File variants; false (and no partial file promises) on I/O failure.
+bool write_prometheus(const std::string& path,
+                      const Registry& registry = Registry::global());
+bool write_trace_json(const std::string& path,
+                      const SpanRecorder& recorder = SpanRecorder::global());
+
+}  // namespace p4iot::common::telemetry

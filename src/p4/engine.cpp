@@ -1,10 +1,26 @@
 #include "p4/engine.h"
 
 #include <algorithm>
+#include <string>
 
 namespace p4iot::p4 {
 
+namespace telemetry = common::telemetry;
+
+DataplaneEngine::EngineMetrics DataplaneEngine::EngineMetrics::acquire() {
+  auto& reg = telemetry::Registry::global();
+  return {
+      &reg.counter("p4iot_engine_batches_total", "Batches dispatched"),
+      &reg.histogram("p4iot_engine_batch_ns",
+                     "Wall time per process_batch call in ns"),
+      &reg.gauge("p4iot_engine_batch_packets", "Packets in the last batch"),
+      &reg.gauge("p4iot_engine_shard_imbalance",
+                 "Largest shard / ideal even share in the last batch"),
+  };
+}
+
 DataplaneEngine::DataplaneEngine(P4Program program, EngineConfig config) {
+  snapshot_interval_ = config.snapshot_interval_batches;
   std::size_t n = config.workers;
   if (n == 0) n = std::max(1u, std::thread::hardware_concurrency());
   workers_.reserve(n);
@@ -86,10 +102,14 @@ void DataplaneEngine::process_batch(std::span<const pkt::Packet> batch,
                                     std::vector<Verdict>& out) {
   out.resize(batch.size());
   if (batch.empty()) return;
+  const std::uint64_t batch_start_ns = telemetry::now_ns();
 
   for (auto& w : workers_) w->indices.clear();
   for (std::size_t i = 0; i < batch.size(); ++i)
     workers_[shard_of(batch[i])]->indices.push_back(i);
+
+  std::size_t max_shard = 0;
+  for (const auto& w : workers_) max_shard = std::max(max_shard, w->indices.size());
 
   {
     std::lock_guard lock(mutex_);
@@ -110,6 +130,27 @@ void DataplaneEngine::process_batch(std::span<const pkt::Packet> batch,
       for (const auto& p : w->mirrored) mirror_(p);
       w->mirrored.clear();
     }
+  }
+
+  // Batch-granularity telemetry: a handful of atomics plus one ring-buffer
+  // span per dispatch — amortized to nothing over the packets inside.
+  const std::uint64_t batch_end_ns = telemetry::now_ns();
+  metrics_.batches->inc();
+  metrics_.batch_ns->record(batch_end_ns - batch_start_ns);
+  metrics_.batch_packets->set(static_cast<double>(batch.size()));
+  const double ideal =
+      static_cast<double>(batch.size()) / static_cast<double>(workers_.size());
+  metrics_.shard_imbalance->set(ideal > 0.0 ? static_cast<double>(max_shard) / ideal
+                                            : 0.0);
+  telemetry::SpanRecorder::global().record(
+      {"engine.batch", "engine", batch_start_ns, batch_end_ns, 0,
+       std::to_string(batch.size()) + " pkts / " +
+           std::to_string(workers_.size()) + " workers"});
+
+  if (snapshot_interval_ > 0 && ++batches_since_snapshot_ >= snapshot_interval_) {
+    batches_since_snapshot_ = 0;
+    publish_telemetry();
+    if (snapshot_hook_) snapshot_hook_();
   }
 }
 
@@ -209,6 +250,77 @@ FlowCacheStats DataplaneEngine::flow_cache_stats() const {
 
 void DataplaneEngine::reset_stats() {
   for (auto& w : workers_) w->sw.reset_stats();
+}
+
+void DataplaneEngine::publish_telemetry() const {
+  auto& reg = telemetry::Registry::global();
+  reg.set_gauge("p4iot_engine_workers", static_cast<double>(workers_.size()),
+                "Worker replica count");
+  std::uint64_t occupancy = 0, capacity = 0;
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    const auto& sw = workers_[w]->sw;
+    reg.set_gauge("p4iot_engine_worker_packets{worker=\"" + std::to_string(w) + "\"}",
+                  static_cast<double>(sw.stats().packets),
+                  "Packets processed by each worker replica");
+    if (const FlowVerdictCache* cache = sw.flow_cache()) {
+      occupancy += cache->occupancy();
+      capacity += cache->capacity();
+    }
+  }
+
+  // Aggregate gauges share the P4Switch names: they are absolute values, so
+  // writing the merged worker shards gives the engine-wide view.
+  const SwitchStats merged = stats();
+  reg.set_gauge("p4iot_dataplane_packets_total", static_cast<double>(merged.packets),
+                "Packets processed (absolute count at snapshot time)");
+  reg.set_gauge("p4iot_dataplane_permitted_total",
+                static_cast<double>(merged.permitted));
+  reg.set_gauge("p4iot_dataplane_dropped_total", static_cast<double>(merged.dropped));
+  reg.set_gauge("p4iot_dataplane_mirrored_total",
+                static_cast<double>(merged.mirrored));
+  reg.set_gauge("p4iot_dataplane_malformed_total",
+                static_cast<double>(merged.malformed));
+  reg.set_gauge("p4iot_dataplane_rate_guard_drops_total",
+                static_cast<double>(merged.rate_guard_drops));
+  reg.set_gauge("p4iot_dataplane_bytes_in_total",
+                static_cast<double>(merged.bytes_in));
+  reg.set_gauge("p4iot_dataplane_bytes_forwarded_total",
+                static_cast<double>(merged.bytes_forwarded));
+  reg.set_gauge("p4iot_dataplane_table_entries",
+                static_cast<double>(workers_[0]->sw.table().entry_count()),
+                "Installed firewall rules");
+
+  const FlowCacheStats cache = flow_cache_stats();
+  reg.set_gauge("p4iot_flow_cache_hits_total", static_cast<double>(cache.hits),
+                "Flow-verdict cache hits");
+  reg.set_gauge("p4iot_flow_cache_misses_total", static_cast<double>(cache.misses));
+  reg.set_gauge("p4iot_flow_cache_insertions_total",
+                static_cast<double>(cache.insertions));
+  reg.set_gauge("p4iot_flow_cache_invalidations_total",
+                static_cast<double>(cache.invalidations));
+  reg.set_gauge("p4iot_flow_cache_hit_rate", cache.hit_rate(),
+                "Hits / (hits + misses)");
+  reg.set_gauge("p4iot_flow_cache_occupancy", static_cast<double>(occupancy),
+                "Valid slots");
+  reg.set_gauge("p4iot_flow_cache_capacity", static_cast<double>(capacity));
+
+  if (const RateGuard* guard = workers_[0]->sw.rate_guard()) {
+    std::uint64_t tripped = 0;
+    double load = 0.0;
+    for (const auto& w : workers_) {
+      if (const RateGuard* g = w->sw.rate_guard()) {
+        tripped += g->tripped_count();
+        load += g->sketch().load_factor();
+      }
+    }
+    reg.set_gauge("p4iot_rate_guard_tripped_total", static_cast<double>(tripped),
+                  "Times a key crossed the guard threshold");
+    reg.set_gauge("p4iot_rate_guard_sketch_load",
+                  load / static_cast<double>(workers_.size()),
+                  "Mean fraction of sketch counters non-zero (saturation)");
+    reg.set_gauge("p4iot_rate_guard_threshold",
+                  static_cast<double>(guard->spec().threshold));
+  }
 }
 
 }  // namespace p4iot::p4

@@ -37,6 +37,9 @@ struct EngineConfig {
   std::size_t table_capacity = 1024;
   /// Per-worker flow-verdict cache slots; 0 disables the cache.
   std::size_t flow_cache_capacity = 4096;
+  /// Publish merged telemetry gauges (and invoke the snapshot hook, if any)
+  /// every N completed batches; 0 disables periodic snapshots.
+  std::size_t snapshot_interval_batches = 0;
 };
 
 class DataplaneEngine {
@@ -65,6 +68,18 @@ class DataplaneEngine {
   /// Mirror handler: mirrored packets are collected worker-locally during
   /// the batch and delivered on the calling thread after it completes.
   void set_mirror_handler(P4Switch::MirrorHandler handler);
+
+  /// Periodic telemetry snapshot: when `snapshot_interval_batches` is set,
+  /// publish_telemetry() runs after every interval-th batch on the calling
+  /// thread, then `hook` fires (e.g. to write a metrics file). Not
+  /// concurrent-safe with process_batch, like the rest of the control API.
+  void set_snapshot_hook(std::function<void()> hook) { snapshot_hook_ = std::move(hook); }
+
+  /// Copy merged engine state into the global telemetry registry: the
+  /// aggregate dataplane/cache gauges (via the workers' switches) plus
+  /// per-worker packet counts (`p4iot_engine_worker_packets{worker="i"}`)
+  /// and worker/batch gauges. Snapshot-time only, never on the hot path.
+  void publish_telemetry() const;
 
   /// Per-worker SwitchStats shards merged on read.
   SwitchStats stats() const;
@@ -95,6 +110,19 @@ class DataplaneEngine {
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<FieldRef> shard_fields_;  ///< parser fields (+ guard keys)
   P4Switch::MirrorHandler mirror_;
+
+  // Telemetry (registry-resident series shared process-wide; see DESIGN §8).
+  struct EngineMetrics {
+    common::telemetry::Counter* batches;
+    common::telemetry::LatencyHistogram* batch_ns;
+    common::telemetry::Gauge* batch_packets;
+    common::telemetry::Gauge* shard_imbalance;
+    static EngineMetrics acquire();
+  };
+  EngineMetrics metrics_ = EngineMetrics::acquire();
+  std::function<void()> snapshot_hook_;
+  std::size_t snapshot_interval_ = 0;
+  std::size_t batches_since_snapshot_ = 0;
 
   // Batch hand-off state (guarded by mutex_).
   std::vector<std::thread> threads_;

@@ -49,6 +49,7 @@ void FlowVerdictCache::insert(std::span<const std::uint64_t> key,
                               const LookupResult& result) noexcept {
   if (key.size() > kMaxKeyFields) return;
   Slot& slot = slots_[hash(key) & mask_];
+  if (!slot.valid) ++live_;
   std::copy(key.begin(), key.end(), slot.key.begin());
   slot.key_count = static_cast<std::uint8_t>(key.size());
   slot.result = result;
@@ -58,6 +59,7 @@ void FlowVerdictCache::insert(std::span<const std::uint64_t> key,
 
 void FlowVerdictCache::invalidate(std::uint64_t epoch) noexcept {
   for (auto& slot : slots_) slot.valid = false;
+  live_ = 0;
   epoch_ = epoch;
   ++stats_.invalidations;
 }

@@ -57,6 +57,8 @@ class FlowVerdictCache {
   std::uint64_t epoch() const noexcept { return epoch_; }
 
   std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Valid slots right now (occupancy telemetry; resets on invalidation).
+  std::size_t occupancy() const noexcept { return live_; }
   const FlowCacheStats& stats() const noexcept { return stats_; }
   void reset_stats() noexcept { stats_ = {}; }
 
@@ -72,6 +74,7 @@ class FlowVerdictCache {
 
   std::vector<Slot> slots_;
   std::size_t mask_ = 0;
+  std::size_t live_ = 0;
   std::uint64_t epoch_ = 0;
   FlowCacheStats stats_;
 };

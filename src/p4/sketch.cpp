@@ -51,4 +51,12 @@ void CountMinSketch::clear() {
   std::fill(counters_.begin(), counters_.end(), 0);
 }
 
+double CountMinSketch::load_factor() const noexcept {
+  if (counters_.empty()) return 0.0;
+  std::size_t nonzero = 0;
+  for (const auto counter : counters_)
+    nonzero += counter != 0 ? 1 : 0;
+  return static_cast<double>(nonzero) / static_cast<double>(counters_.size());
+}
+
 }  // namespace p4iot::p4

@@ -41,6 +41,10 @@ class CountMinSketch {
   std::size_t register_bits() const noexcept {
     return config_.rows * config_.width * 32;
   }
+  /// Fraction of counters currently non-zero — saturation telemetry (a load
+  /// factor near 1.0 means estimates are dominated by collisions). Scans the
+  /// registers; meant for snapshot/export time, not the per-packet path.
+  double load_factor() const noexcept;
 
  private:
   std::size_t index(std::size_t row, std::uint64_t key) const noexcept;

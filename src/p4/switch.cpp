@@ -2,6 +2,8 @@
 
 namespace p4iot::p4 {
 
+namespace telemetry = common::telemetry;
+
 const char* malformed_policy_name(MalformedPolicy policy) noexcept {
   switch (policy) {
     case MalformedPolicy::kZeroPad: return "zero-pad";
@@ -9,6 +11,22 @@ const char* malformed_policy_name(MalformedPolicy policy) noexcept {
     case MalformedPolicy::kFailOpen: return "fail-open";
   }
   return "?";
+}
+
+P4Switch::StageMetrics P4Switch::StageMetrics::acquire() {
+  auto& reg = telemetry::Registry::global();
+  return {
+      &reg.histogram("p4iot_switch_parse_ns",
+                     "Parser field-extraction latency in ns (sampled)"),
+      &reg.histogram("p4iot_switch_cache_hit_ns",
+                     "Flow-cache-hit lookup latency in ns (sampled)"),
+      &reg.histogram("p4iot_switch_tcam_scan_ns",
+                     "TCAM priority-scan latency in ns, cache miss or uncached (sampled)"),
+      &reg.histogram("p4iot_switch_guard_ns",
+                     "Rate-guard stage latency in ns (sampled)"),
+      &reg.histogram("p4iot_switch_packet_ns",
+                     "Whole-packet pipeline latency in ns (sampled)"),
+  };
 }
 
 P4Switch::P4Switch(P4Program program, std::size_t table_capacity)
@@ -21,7 +39,8 @@ void P4Switch::enable_flow_cache(std::size_t capacity) {
   flow_cache_->invalidate(table_.version());  // adopt the current rule epoch
 }
 
-LookupResult P4Switch::lookup_cached(std::span<const std::uint64_t> values) {
+LookupResult P4Switch::lookup_cached(std::span<const std::uint64_t> values,
+                                     bool* cache_hit) {
   if (!flow_cache_) return table_.lookup(values);
   if (flow_cache_->epoch() != table_.version())
     flow_cache_->invalidate(table_.version());
@@ -29,6 +48,7 @@ LookupResult P4Switch::lookup_cached(std::span<const std::uint64_t> values) {
     // Keep counters bit-identical to the scan path: credit the memoized
     // entry (or the default action) without walking the entries.
     table_.record_hit(hit->entry_index);
+    if (cache_hit) *cache_hit = true;
     return *hit;
   }
   const LookupResult result = table_.lookup(values);
@@ -60,6 +80,10 @@ Verdict P4Switch::finish(const pkt::Packet& packet, LookupResult result,
 }
 
 Verdict P4Switch::process(const pkt::Packet& packet) {
+  // Sampled per-stage timing: one packet in 2^shift pays the clock reads
+  // (see telemetry.h); every other packet takes the plain path below.
+  if (stage_sampler_.should_sample()) return process_timed(packet);
+
   const bool malformed = packet.size() < min_frame_bytes_;
   if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
     // Fail-closed/fail-open short-circuit: the frame never reaches the
@@ -72,7 +96,7 @@ Verdict P4Switch::process(const pkt::Packet& packet) {
   }
 
   program_.parser.extract_into(packet.view(), scratch_values_);
-  auto result = lookup_cached(scratch_values_);
+  auto result = lookup_cached(scratch_values_, nullptr);
   std::uint8_t attack_class =
       result.entry_index >= 0
           ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
@@ -89,6 +113,50 @@ Verdict P4Switch::process(const pkt::Packet& packet) {
   }
 
   return finish(packet, result, attack_class, malformed);
+}
+
+Verdict P4Switch::process_timed(const pkt::Packet& packet) {
+  // Mirrors process() with per-stage clock reads; verdicts and counters are
+  // identical (the differential tests cover both paths at shift 0).
+  const std::uint64_t t0 = telemetry::now_ns();
+  const bool malformed = packet.size() < min_frame_bytes_;
+  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
+    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+                            ? ActionOp::kDrop
+                            : ActionOp::kPermit;
+    const auto verdict = finish(packet, LookupResult{action, -1}, 0, true);
+    stage_metrics_.packet->record(telemetry::now_ns() - t0);
+    return verdict;
+  }
+
+  program_.parser.extract_into(packet.view(), scratch_values_);
+  const std::uint64_t t1 = telemetry::now_ns();
+  stage_metrics_.parse->record(t1 - t0);
+
+  bool cache_hit = false;
+  auto result = lookup_cached(scratch_values_, &cache_hit);
+  const std::uint64_t t2 = telemetry::now_ns();
+  (cache_hit ? stage_metrics_.cache_hit : stage_metrics_.tcam_scan)->record(t2 - t1);
+
+  std::uint8_t attack_class =
+      result.entry_index >= 0
+          ? table_.entries()[static_cast<std::size_t>(result.entry_index)].attack_class
+          : 0;
+
+  if (rate_guard_) {
+    if (result.action != ActionOp::kDrop &&
+        rate_guard_->observe(packet.view(), packet.timestamp_s)) {
+      result.action = rate_guard_->spec().action;
+      result.entry_index = -1;
+      attack_class = 0;
+      if (result.action == ActionOp::kDrop) ++stats_.rate_guard_drops;
+    }
+    stage_metrics_.guard->record(telemetry::now_ns() - t2);
+  }
+
+  const auto verdict = finish(packet, result, attack_class, malformed);
+  stage_metrics_.packet->record(telemetry::now_ns() - t0);
+  return verdict;
 }
 
 std::vector<Verdict> P4Switch::process_batch(std::span<const pkt::Packet> batch) {
@@ -124,6 +192,51 @@ void P4Switch::reset_stats() {
   table_.reset_counters();
   if (rate_guard_) rate_guard_->reset();
   if (flow_cache_) flow_cache_->reset_stats();
+}
+
+void P4Switch::publish_telemetry() const {
+  auto& reg = telemetry::Registry::global();
+  reg.set_gauge("p4iot_dataplane_packets_total", static_cast<double>(stats_.packets),
+                "Packets processed (absolute count at snapshot time)");
+  reg.set_gauge("p4iot_dataplane_permitted_total", static_cast<double>(stats_.permitted));
+  reg.set_gauge("p4iot_dataplane_dropped_total", static_cast<double>(stats_.dropped));
+  reg.set_gauge("p4iot_dataplane_mirrored_total", static_cast<double>(stats_.mirrored));
+  reg.set_gauge("p4iot_dataplane_malformed_total", static_cast<double>(stats_.malformed));
+  reg.set_gauge("p4iot_dataplane_rate_guard_drops_total",
+                static_cast<double>(stats_.rate_guard_drops));
+  reg.set_gauge("p4iot_dataplane_bytes_in_total", static_cast<double>(stats_.bytes_in));
+  reg.set_gauge("p4iot_dataplane_bytes_forwarded_total",
+                static_cast<double>(stats_.bytes_forwarded));
+  reg.set_gauge("p4iot_dataplane_table_entries",
+                static_cast<double>(table_.entry_count()),
+                "Installed firewall rules");
+
+  if (flow_cache_) {
+    const auto& cache = flow_cache_->stats();
+    reg.set_gauge("p4iot_flow_cache_hits_total", static_cast<double>(cache.hits),
+                  "Flow-verdict cache hits");
+    reg.set_gauge("p4iot_flow_cache_misses_total", static_cast<double>(cache.misses));
+    reg.set_gauge("p4iot_flow_cache_insertions_total",
+                  static_cast<double>(cache.insertions));
+    reg.set_gauge("p4iot_flow_cache_invalidations_total",
+                  static_cast<double>(cache.invalidations));
+    reg.set_gauge("p4iot_flow_cache_hit_rate", cache.hit_rate(),
+                  "Hits / (hits + misses)");
+    reg.set_gauge("p4iot_flow_cache_occupancy",
+                  static_cast<double>(flow_cache_->occupancy()), "Valid slots");
+    reg.set_gauge("p4iot_flow_cache_capacity",
+                  static_cast<double>(flow_cache_->capacity()));
+  }
+
+  if (rate_guard_) {
+    reg.set_gauge("p4iot_rate_guard_tripped_total",
+                  static_cast<double>(rate_guard_->tripped_count()),
+                  "Times a key crossed the guard threshold");
+    reg.set_gauge("p4iot_rate_guard_sketch_load", rate_guard_->sketch().load_factor(),
+                  "Fraction of sketch counters non-zero (saturation)");
+    reg.set_gauge("p4iot_rate_guard_threshold",
+                  static_cast<double>(rate_guard_->spec().threshold));
+  }
 }
 
 }  // namespace p4iot::p4

@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/telemetry.h"
 #include "p4/flow_cache.h"
 #include "p4/ir.h"
 #include "p4/rate_guard.h"
@@ -124,6 +125,14 @@ class P4Switch {
   const SwitchStats& stats() const noexcept { return stats_; }
   void reset_stats();
 
+  /// Copy this switch's instantaneous state (verdict counters, flow-cache
+  /// hit rate and occupancy, rate-guard saturation) into the global
+  /// telemetry registry as `p4iot_dataplane_*` / `p4iot_flow_cache_*` /
+  /// `p4iot_rate_guard_*` gauges. Called at snapshot/export time, never on
+  /// the packet path. Per-stage latency histograms are registry-resident
+  /// and need no publishing (see telemetry.h for the sampling budget).
+  void publish_telemetry() const;
+
   /// Deterministic single-packet pipeline cost in model cycles: one cycle
   /// per extracted field (parser) + 1 TCAM lookup + 1 action. Used by the
   /// efficiency experiment alongside measured wall-clock.
@@ -132,9 +141,23 @@ class P4Switch {
   }
 
  private:
-  LookupResult lookup_cached(std::span<const std::uint64_t> values);
+  LookupResult lookup_cached(std::span<const std::uint64_t> values,
+                             bool* cache_hit);
   Verdict finish(const pkt::Packet& packet, LookupResult result,
                  std::uint8_t attack_class, bool malformed);
+  Verdict process_timed(const pkt::Packet& packet);
+
+  /// Registry-resident per-stage latency series, shared by every switch
+  /// instance (engine workers record into the same histograms, which makes
+  /// a snapshot the cross-worker merge). Looked up once per switch.
+  struct StageMetrics {
+    common::telemetry::LatencyHistogram* parse;
+    common::telemetry::LatencyHistogram* cache_hit;
+    common::telemetry::LatencyHistogram* tcam_scan;
+    common::telemetry::LatencyHistogram* guard;
+    common::telemetry::LatencyHistogram* packet;
+    static StageMetrics acquire();
+  };
 
   P4Program program_;
   MatchActionTable table_;
@@ -145,6 +168,8 @@ class P4Switch {
   std::optional<RateGuard> rate_guard_;
   std::unique_ptr<FlowVerdictCache> flow_cache_;
   std::vector<std::uint64_t> scratch_values_;  ///< parser output, reused
+  StageMetrics stage_metrics_ = StageMetrics::acquire();
+  common::telemetry::StageSampler stage_sampler_;
 };
 
 }  // namespace p4iot::p4

@@ -3,8 +3,11 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "common/telemetry.h"
 
 namespace p4iot::sdn {
+
+namespace telemetry = p4iot::common::telemetry;
 
 const char* controller_event_name(ControllerEventType type) noexcept {
   switch (type) {
@@ -31,9 +34,18 @@ p4::TableWriteStatus Controller::swap_rules(double now_s, double miss_rate,
   // install-new → verify → retire-old. The serving switch is untouched until
   // the candidate is fully built, populated and verified, so any failure
   // below leaves the previous table serving traffic (fail-degraded, never
-  // fail-empty).
+  // fail-empty). Every phase is recorded as a span so a trace dump shows
+  // the swap lifecycle on a timeline (see DESIGN.md §8).
+  auto& spans = telemetry::SpanRecorder::global();
+  auto& reg = telemetry::Registry::global();
+  const char* kind = bootstrap ? "bootstrap" : "retrain";
+  const std::uint64_t t_start = telemetry::now_ns();
+
   p4::P4Switch candidate(pipeline_.rules().program, config_.table_capacity);
   candidate.set_malformed_policy(config_.malformed_policy);
+  const std::uint64_t t_built = telemetry::now_ns();
+  spans.record({"swap.build", "controller", t_start, t_built, 0,
+                std::to_string(pipeline_.rules().entries.size()) + " rules"});
 
   p4::TableWriteStatus status;
   if (!bootstrap && faults_.fail_install()) {
@@ -42,37 +54,59 @@ p4::TableWriteStatus Controller::swap_rules(double now_s, double miss_rate,
   } else {
     status = pipeline_.install(candidate);
   }
+  const std::uint64_t t_installed = telemetry::now_ns();
+  spans.record({"swap.install", "controller", t_built, t_installed, 0,
+                p4::table_write_status_name(status)});
 
   // Verify before retiring the old table: the install reported success and
   // the candidate actually serves the synthesized rule set.
   const bool verified =
       status == p4::TableWriteStatus::kOk &&
       candidate.table().entry_count() == pipeline_.rules().entries.size();
+  const std::uint64_t t_verified = telemetry::now_ns();
+  spans.record({"swap.verify", "controller", t_installed, t_verified, 0,
+                verified ? "ok" : "failed"});
 
   ControllerEvent event{bootstrap ? ControllerEventType::kBootstrap
                                   : ControllerEventType::kRetrained,
                         now_s, candidate.table().entry_count(), miss_rate};
   if (!verified) {
     ++stats_.installs_failed;
+    reg.counter("p4iot_controller_swap_failures_total",
+                "Rule swaps that failed install or verification").inc();
     event.type = ControllerEventType::kInstallFailed;
     event.rules_installed = switch_.table().entry_count();
     events_.push_back(event);
-    P4IOT_LOG_ERROR("controller", "%s install failed: %s",
-                    bootstrap ? "bootstrap" : "retrain",
+    P4IOT_LOG_ERROR("controller", "%s install failed: %s", kind,
                     p4::table_write_status_name(status));
     if (!bootstrap) {
       // Roll back: candidate is discarded, the old switch keeps serving.
       // enter_degraded records the kRollback event.
       ++stats_.rollbacks;
+      reg.counter("p4iot_controller_rollbacks_total",
+                  "Failed swaps rolled back to the previous table").inc();
       enter_degraded(now_s, ControllerEventType::kRollback);
     }
+    const std::uint64_t t_end = telemetry::now_ns();
+    spans.record({"swap.rollback", "controller", t_verified, t_end, 0,
+                  "previous table kept serving"});
+    spans.record({"controller.swap", "controller", t_start, t_end, 0,
+                  std::string(kind) + ": rollback"});
     return status == p4::TableWriteStatus::kOk ? p4::TableWriteStatus::kTableFull
                                                : status;
   }
 
   switch_ = std::move(candidate);  // retire-old (per-epoch stats reset)
   degraded_ = false;
+  telemetry::Registry::global().set_gauge("p4iot_controller_degraded", 0.0);
   events_.push_back(event);
+  const std::uint64_t t_end = telemetry::now_ns();
+  spans.record({"swap.retire", "controller", t_verified, t_end, 0,
+                "old table retired"});
+  spans.record({"controller.swap", "controller", t_start, t_end, 0,
+                std::string(kind) + ": ok"});
+  reg.counter("p4iot_controller_swaps_total",
+              "Completed transactional rule swaps").inc();
   return p4::TableWriteStatus::kOk;
 }
 
@@ -141,6 +175,9 @@ void Controller::enter_degraded(double now_s, ControllerEventType why) {
     degraded_ = true;
     degraded_cause_ = why;
     ++stats_.degraded_entries;
+    telemetry::Registry::global().set_gauge(
+        "p4iot_controller_degraded", 1.0,
+        "1 while operating without the full feedback loop");
     P4IOT_LOG_ERROR("controller", "degraded mode (%s) at t=%.1fs",
                     controller_event_name(why), now_s);
   }
@@ -152,8 +189,10 @@ void Controller::record_sample(const pkt::Packet& packet, bool is_attack,
   stats_.oracle_silent_streak = 0;
   // A fresh label only cures oracle-silence degradation; a rolled-back swap
   // stays degraded until a swap succeeds.
-  if (degraded_ && degraded_cause_ == ControllerEventType::kOracleSilent)
+  if (degraded_ && degraded_cause_ == ControllerEventType::kOracleSilent) {
     degraded_ = false;
+    telemetry::Registry::global().set_gauge("p4iot_controller_degraded", 0.0);
+  }
 
   pkt::Packet labelled = packet;
   // Normalize the stored label to what the oracle said (binary): keep the
@@ -208,6 +247,35 @@ void Controller::maybe_retrain(double now_s) {
   (void)swap_rules(now_s, miss_rate, /*bootstrap=*/false);
   last_retrain_s_ = now_s;
   recent_.clear();  // fresh window for the new rule set
+}
+
+void Controller::publish_telemetry() const {
+  auto& reg = telemetry::Registry::global();
+  reg.set_gauge("p4iot_controller_degraded",
+                degraded_ ? 1.0 : 0.0,
+                "1 while operating without the full feedback loop");
+  reg.set_gauge("p4iot_controller_delayed_labels",
+                static_cast<double>(delayed_.size()),
+                "Oracle labels queued for late delivery");
+  reg.set_gauge("p4iot_controller_miss_rate", current_miss_rate(),
+                "Sliding-window attack miss rate (drift signal)");
+  reg.set_gauge("p4iot_controller_packets_total",
+                static_cast<double>(stats_.packets));
+  reg.set_gauge("p4iot_controller_labels_applied_total",
+                static_cast<double>(stats_.labels_applied));
+  reg.set_gauge("p4iot_controller_labels_lost_total",
+                static_cast<double>(stats_.labels_lost));
+  reg.set_gauge("p4iot_controller_labels_delayed_total",
+                static_cast<double>(stats_.labels_delayed));
+  reg.set_gauge("p4iot_controller_installs_failed_total",
+                static_cast<double>(stats_.installs_failed));
+  reg.set_gauge("p4iot_controller_degraded_entries_total",
+                static_cast<double>(stats_.degraded_entries));
+  reg.set_gauge("p4iot_controller_oracle_silent_streak",
+                static_cast<double>(stats_.oracle_silent_streak));
+  reg.set_gauge("p4iot_controller_sample_buffer_size",
+                static_cast<double>(sample_buffer_.size()));
+  switch_.publish_telemetry();
 }
 
 std::size_t Controller::retrain_count() const noexcept {

@@ -111,6 +111,12 @@ class Controller {
   const FaultCounters& fault_counters() const noexcept {
     return faults_.counters();
   }
+
+  /// Copy controller health (swap/rollback counts are registry-resident
+  /// counters already; this adds degraded flag, delayed-label queue depth,
+  /// miss rate, label counters) plus the serving switch's gauges into the
+  /// global telemetry registry. Snapshot-time only.
+  void publish_telemetry() const;
   /// True while the controller is operating without its full feedback loop:
   /// the last rule swap rolled back, or the oracle has been silent for a
   /// full drift window. Cleared by a successful swap / fresh label.

@@ -1,5 +1,5 @@
 #!/bin/sh
-# CLI end-to-end smoke test: generate → train → eval → inspect → convert.
+# CLI end-to-end smoke test: generate → train → eval → inspect → convert → stats.
 set -e
 P4IOTC="$1"
 DIR="$(mktemp -d)"
@@ -14,6 +14,13 @@ trap 'rm -rf "$DIR"' EXIT
 test -s "$DIR/fw.p4"
 test -s "$DIR/rules.txt"
 test -s "$DIR/cap_ethernet.pcap"
+# Telemetry: stats replay with --key=value spelling and both exporters.
+"$P4IOTC" stats --trace="$DIR/cap.trc" --workers=2 \
+  --metrics-out "$DIR/metrics.prom" --trace-out "$DIR/spans.json"
+grep -q "p4iot_flow_cache_hit_rate" "$DIR/metrics.prom"
+grep -q "p4iot_switch_packet_ns_p99" "$DIR/metrics.prom"
+grep -q 'p4iot_engine_worker_packets{worker="0"}' "$DIR/metrics.prom"
+grep -q "controller.swap" "$DIR/spans.json"
 # Error paths exit non-zero.
 if "$P4IOTC" eval --model /nonexistent --trace "$DIR/cap.trc" 2>/dev/null; then
   echo "expected failure on missing model" >&2; exit 1

@@ -1,0 +1,106 @@
+// Logger thread-safety: level changes are atomic, sink writes are
+// serialized, and a custom sink captures messages intact under concurrency.
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+using p4iot::common::LogLevel;
+
+namespace {
+
+/// Restores the default sink and level on scope exit so one test can't
+/// leak configuration into the rest of the suite.
+struct LoggerGuard {
+  LoggerGuard() : level(p4iot::common::log_level()) {}
+  ~LoggerGuard() {
+    p4iot::common::set_log_sink(nullptr);
+    p4iot::common::set_log_level(level);
+  }
+  LogLevel level;
+};
+
+}  // namespace
+
+TEST(Logging, LevelFilterAndNames) {
+  LoggerGuard guard;
+  std::vector<std::string> seen;
+  p4iot::common::set_log_sink(
+      [&](LogLevel, std::string_view, std::string_view message) {
+        seen.emplace_back(message);
+      });
+  p4iot::common::set_log_level(LogLevel::kWarn);
+  P4IOT_LOG_INFO("test", "filtered out");
+  P4IOT_LOG_WARN("test", "kept %d", 1);
+  p4iot::common::set_log_level(LogLevel::kOff);
+  P4IOT_LOG_ERROR("test", "also filtered");
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(seen[0], "kept 1");
+
+  EXPECT_STREQ(p4iot::common::log_level_name(LogLevel::kDebug), "DEBUG");
+  EXPECT_STREQ(p4iot::common::log_level_name(LogLevel::kError), "ERROR");
+}
+
+TEST(Logging, ConcurrentWritersDeliverEveryMessageIntact) {
+  LoggerGuard guard;
+  std::mutex mutex;
+  std::vector<std::string> seen;
+  p4iot::common::set_log_sink(
+      [&](LogLevel, std::string_view component, std::string_view message) {
+        // The logger serializes sink calls; the lock here only guards the
+        // test's own vector against the capture running on many threads.
+        std::lock_guard<std::mutex> lock(mutex);
+        seen.emplace_back(std::string(component) + ":" + std::string(message));
+      });
+  p4iot::common::set_log_level(LogLevel::kInfo);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i)
+        P4IOT_LOG_INFO("worker", "t%d m%d", t, i);
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  ASSERT_EQ(seen.size(), static_cast<std::size_t>(kThreads) * kPerThread);
+  // Every message arrived whole — no torn or interleaved payloads.
+  int per_thread[kThreads] = {};
+  for (const auto& entry : seen) {
+    int t = -1, i = -1;
+    ASSERT_EQ(std::sscanf(entry.c_str(), "worker:t%d m%d", &t, &i), 2) << entry;
+    ASSERT_GE(t, 0);
+    ASSERT_LT(t, kThreads);
+    ASSERT_GE(i, 0);
+    ASSERT_LT(i, kPerThread);
+    ++per_thread[t];
+  }
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(per_thread[t], kPerThread);
+}
+
+TEST(Logging, ConcurrentLevelFlipsAreSafe) {
+  LoggerGuard guard;
+  std::atomic<int> delivered{0};
+  p4iot::common::set_log_sink(
+      [&](LogLevel, std::string_view, std::string_view) { ++delivered; });
+
+  std::thread flipper([] {
+    for (int i = 0; i < 2000; ++i)
+      p4iot::common::set_log_level(i % 2 ? LogLevel::kDebug : LogLevel::kOff);
+  });
+  std::thread writer([] {
+    for (int i = 0; i < 2000; ++i) P4IOT_LOG_WARN("race", "m%d", i);
+  });
+  flipper.join();
+  writer.join();
+  // No crash / no sanitizer report is the assertion; delivery count depends
+  // on interleaving and just has to be sane.
+  EXPECT_LE(delivered.load(), 2000);
+}

@@ -1,0 +1,285 @@
+// Telemetry layer: registry semantics, histogram bucket math, percentile
+// accuracy vs the exact estimator, concurrent recording, span ring
+// wraparound, and exporter output goldens.
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/metrics.h"
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
+
+namespace telemetry = p4iot::common::telemetry;
+using telemetry::HistogramSnapshot;
+using telemetry::LatencyHistogram;
+using telemetry::Registry;
+using telemetry::Span;
+using telemetry::SpanRecorder;
+
+TEST(TelemetryRegistry, RegistrationReturnsStableSharedObjects) {
+  Registry registry;
+  auto& c1 = registry.counter("t_packets_total", "help text");
+  auto& c2 = registry.counter("t_packets_total");
+  EXPECT_EQ(&c1, &c2);  // same name + kind = same series
+  c1.inc(3);
+  EXPECT_EQ(c2.value(), 3u);
+
+  auto& g = registry.gauge("t_depth");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("t_depth").value(), 2.5);
+
+  registry.histogram("t_latency_ns").record(100);
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(TelemetryRegistry, KindMismatchYieldsDummyNotCorruption) {
+  Registry registry;
+  auto& counter = registry.counter("t_metric");
+  counter.inc(7);
+  // Asking for the same name as a gauge is a naming bug: the caller gets a
+  // safe dummy, the original series is untouched, and lookups by the wrong
+  // kind fail.
+  auto& wrong = registry.gauge("t_metric");
+  wrong.set(99.0);
+  EXPECT_EQ(registry.find_counter("t_metric")->value(), 7u);
+  EXPECT_EQ(registry.find_gauge("t_metric"), nullptr);
+  EXPECT_EQ(registry.size(), 1u);
+}
+
+TEST(TelemetryRegistry, FindAbsentReturnsNull) {
+  Registry registry;
+  EXPECT_EQ(registry.find_counter("nope"), nullptr);
+  EXPECT_EQ(registry.find_gauge("nope"), nullptr);
+  EXPECT_EQ(registry.find_histogram("nope"), nullptr);
+}
+
+TEST(TelemetryRegistry, MetricsViewIsSortedAndResetKeepsHandles) {
+  Registry registry;
+  auto& z = registry.counter("z_last");
+  registry.gauge("a_first");
+  registry.histogram("m_middle");
+  const auto view = registry.metrics();
+  ASSERT_EQ(view.size(), 3u);
+  EXPECT_EQ(view[0].name, "a_first");
+  EXPECT_EQ(view[1].name, "m_middle");
+  EXPECT_EQ(view[2].name, "z_last");
+
+  z.inc(5);
+  registry.reset_values();
+  EXPECT_EQ(z.value(), 0u);  // same handle, zeroed value
+  EXPECT_EQ(registry.size(), 3u);
+}
+
+TEST(TelemetryHistogram, BucketBoundsPartitionTheRange) {
+  // Bucket 0 holds exactly 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(LatencyHistogram::bucket_index(0), 0u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1), 1u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(2), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(3), 2u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(4), 3u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1023), 10u);
+  EXPECT_EQ(LatencyHistogram::bucket_index(1024), 11u);
+  for (std::size_t i = 1; i + 1 < LatencyHistogram::kBuckets; ++i) {
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_lower(i)), i);
+    EXPECT_EQ(LatencyHistogram::bucket_index(LatencyHistogram::bucket_upper(i)), i);
+    EXPECT_EQ(LatencyHistogram::bucket_upper(i) + 1,
+              LatencyHistogram::bucket_lower(i + 1));
+  }
+}
+
+TEST(TelemetryHistogram, SnapshotCountsSumMax) {
+  LatencyHistogram histogram;
+  for (const std::uint64_t v : {0ull, 1ull, 5ull, 5ull, 900ull}) histogram.record(v);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_EQ(snap.sum, 911u);
+  EXPECT_EQ(snap.max, 900u);
+  EXPECT_EQ(snap.buckets[0], 1u);                                  // the 0
+  EXPECT_EQ(snap.buckets[LatencyHistogram::bucket_index(5)], 2u);  // both 5s
+  histogram.reset();
+  EXPECT_EQ(histogram.snapshot().count, 0u);
+}
+
+TEST(TelemetryHistogram, PercentileTracksExactEstimatorWithinBucketWidth) {
+  // Log-uniform samples spanning several buckets; the histogram estimate
+  // must agree with the exact order-statistic percentile to within the
+  // width of the bucket the exact value lands in.
+  LatencyHistogram histogram;
+  std::vector<double> exact_values;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t sample = 1 + (v % 60000);
+    v = v * 2862933555777941757ull + 3037000493ull;  // LCG, deterministic
+    histogram.record(sample);
+    exact_values.push_back(static_cast<double>(sample));
+  }
+  const auto snap = histogram.snapshot();
+  for (const double pct : {50.0, 95.0, 99.0}) {
+    const double exact = p4iot::common::percentile(exact_values, pct);
+    const auto bucket =
+        LatencyHistogram::bucket_index(static_cast<std::uint64_t>(exact));
+    const double width = static_cast<double>(LatencyHistogram::bucket_upper(bucket) -
+                                             LatencyHistogram::bucket_lower(bucket)) +
+                         1.0;
+    EXPECT_NEAR(snap.percentile(pct), exact, width)
+        << "pct=" << pct << " exact=" << exact;
+  }
+}
+
+TEST(TelemetryHistogram, MergeEqualsRecordingIntoOne) {
+  LatencyHistogram a, b, combined;
+  for (std::uint64_t v = 1; v < 500; v += 7) { a.record(v); combined.record(v); }
+  for (std::uint64_t v = 3; v < 9000; v += 131) { b.record(v); combined.record(v); }
+  auto merged = a.snapshot();
+  merged.merge(b.snapshot());
+  const auto reference = combined.snapshot();
+  EXPECT_EQ(merged.count, reference.count);
+  EXPECT_EQ(merged.sum, reference.sum);
+  EXPECT_EQ(merged.max, reference.max);
+  EXPECT_EQ(merged.buckets, reference.buckets);
+  EXPECT_DOUBLE_EQ(merged.percentile(95), reference.percentile(95));
+}
+
+TEST(TelemetryConcurrency, HammerFromManyThreadsLosesNothing) {
+  Registry registry;
+  auto& counter = registry.counter("t_hammer_total");
+  auto& gauge = registry.gauge("t_hammer_gauge");
+  auto& histogram = registry.histogram("t_hammer_ns");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        counter.inc();
+        gauge.set(static_cast<double>(i));
+        histogram.record(static_cast<std::uint64_t>(t * kPerThread + i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const auto snap = histogram.snapshot();
+  EXPECT_EQ(snap.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(snap.max, static_cast<std::uint64_t>(kThreads) * kPerThread - 1);
+  EXPECT_GE(gauge.value(), 0.0);  // last writer wins; any thread's value is fine
+  EXPECT_LT(gauge.value(), kPerThread);
+}
+
+TEST(TelemetrySpans, RingOverwritesOldestAndKeepsOrder) {
+  SpanRecorder recorder(4);
+  for (int i = 0; i < 6; ++i) {
+    recorder.record({"span" + std::to_string(i), "test",
+                     static_cast<std::uint64_t>(100 * i),
+                     static_cast<std::uint64_t>(100 * i + 50), 0, ""});
+  }
+  EXPECT_EQ(recorder.size(), 4u);
+  EXPECT_EQ(recorder.total_recorded(), 6u);
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "span2");  // 0 and 1 overwritten
+  EXPECT_EQ(spans.back().name, "span5");
+  EXPECT_EQ(spans.front().duration_ns(), 50u);
+  recorder.clear();
+  EXPECT_EQ(recorder.size(), 0u);
+}
+
+TEST(TelemetrySpans, ScopedRecordsIntervalWithNote) {
+  SpanRecorder recorder(8);
+  {
+    SpanRecorder::Scoped span(recorder, "unit.work", "test");
+    span.set_note("done");
+  }
+  const auto spans = recorder.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.work");
+  EXPECT_EQ(spans[0].category, "test");
+  EXPECT_EQ(spans[0].note, "done");
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(TelemetryExport, PrometheusGolden) {
+  Registry registry;
+  registry.counter("t_packets_total", "Packets seen").inc(42);
+  registry.gauge("t_depth", "Queue depth").set(2.5);
+  auto& histogram = registry.histogram("t_wait_ns", "Wait time");
+  histogram.record(0);
+  histogram.record(3);
+  histogram.record(3);
+
+  const auto text = telemetry::render_prometheus(registry);
+  EXPECT_NE(text.find("# HELP t_packets_total Packets seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_packets_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("t_packets_total 42\n"), std::string::npos);
+  EXPECT_NE(text.find("t_depth 2.5\n"), std::string::npos);
+  // Cumulative buckets: le="0" holds the zero, le="3" holds all three.
+  EXPECT_NE(text.find("t_wait_ns_bucket{le=\"0\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_bucket{le=\"3\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_sum 6\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_count 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_max 3\n"), std::string::npos);
+  EXPECT_NE(text.find("t_wait_ns_p99"), std::string::npos);
+}
+
+TEST(TelemetryExport, PrometheusLabelledFamilyEmitsOneTypeLine) {
+  Registry registry;
+  registry.gauge("t_worker_packets{worker=\"0\"}", "Per-worker packets").set(10);
+  registry.gauge("t_worker_packets{worker=\"1\"}").set(12);
+  const auto text = telemetry::render_prometheus(registry);
+  // One TYPE header for the family, then both labelled samples.
+  std::size_t type_count = 0;
+  for (std::size_t pos = 0;
+       (pos = text.find("# TYPE t_worker_packets gauge", pos)) != std::string::npos;
+       ++pos)
+    ++type_count;
+  EXPECT_EQ(type_count, 1u);
+  EXPECT_NE(text.find("t_worker_packets{worker=\"0\"} 10\n"), std::string::npos);
+  EXPECT_NE(text.find("t_worker_packets{worker=\"1\"} 12\n"), std::string::npos);
+}
+
+TEST(TelemetryExport, TraceJsonGolden) {
+  SpanRecorder recorder(8);
+  recorder.record({"swap.build", "controller", 1000, 3500, 2, "6 \"rules\""});
+  const auto json = telemetry::render_trace_json(recorder);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"swap.build\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"controller\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);   // µs
+  EXPECT_NE(json.find("\"dur\":2.500"), std::string::npos);  // µs
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(json.find("6 \\\"rules\\\""), std::string::npos);  // escaped note
+}
+
+TEST(TelemetrySampling, ShiftAndEnableControlTheSampler) {
+  const bool was_enabled = telemetry::stage_timing_enabled();
+  const unsigned old_shift = telemetry::stage_sampling_shift();
+
+  telemetry::set_stage_timing_enabled(true);
+  telemetry::set_stage_sampling_shift(0);  // every packet
+  telemetry::StageSampler dense;
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(dense.should_sample());
+
+  telemetry::set_stage_sampling_shift(2);  // 1 in 4
+  telemetry::StageSampler sparse;
+  int sampled = 0;
+  for (int i = 0; i < 64; ++i) sampled += sparse.should_sample() ? 1 : 0;
+  EXPECT_EQ(sampled, 16);
+
+  telemetry::set_stage_timing_enabled(false);
+  telemetry::StageSampler off;
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(off.should_sample());
+
+  telemetry::set_stage_timing_enabled(was_enabled);
+  telemetry::set_stage_sampling_shift(old_shift);
+}
+
+TEST(TelemetryGlobals, GlobalRegistryAndRecorderAreSingletons) {
+  EXPECT_EQ(&Registry::global(), &Registry::global());
+  EXPECT_EQ(&SpanRecorder::global(), &SpanRecorder::global());
+  EXPECT_GT(SpanRecorder::global().capacity(), 0u);
+}

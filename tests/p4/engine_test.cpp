@@ -249,6 +249,107 @@ TEST(DataplaneEngine, MirroredPacketsDeliveredOnCallerThread) {
   EXPECT_EQ(engine.stats().mirrored, traffic.size());
 }
 
+TEST(ProcessBatch, TimedSamplingPathIsVerdictIdentical) {
+  // With the sampling shift at 0 every packet takes the timed path
+  // (process_timed); it must stay verdict- and counter-identical to the
+  // untimed fast path.
+  namespace telemetry = common::telemetry;
+  const bool was_enabled = telemetry::stage_timing_enabled();
+  const unsigned old_shift = telemetry::stage_sampling_shift();
+  const auto traffic = synthetic_traffic(3000, 17);
+
+  telemetry::set_stage_timing_enabled(false);
+  P4Switch untimed(test_program());
+  ASSERT_EQ(untimed.install_rules(test_rules()), TableWriteStatus::kOk);
+  untimed.enable_flow_cache(256);
+  std::vector<Verdict> untimed_verdicts;
+  for (const auto& p : traffic) untimed_verdicts.push_back(untimed.process(p));
+
+  telemetry::set_stage_timing_enabled(true);
+  telemetry::set_stage_sampling_shift(0);
+  P4Switch timed(test_program());
+  ASSERT_EQ(timed.install_rules(test_rules()), TableWriteStatus::kOk);
+  timed.enable_flow_cache(256);
+  for (std::size_t i = 0; i < traffic.size(); ++i) {
+    const auto verdict = timed.process(traffic[i]);
+    EXPECT_EQ(verdict.action, untimed_verdicts[i].action) << "packet " << i;
+    EXPECT_EQ(verdict.entry_index, untimed_verdicts[i].entry_index) << "packet " << i;
+  }
+  expect_stats_equal(timed.stats(), untimed.stats());
+  EXPECT_EQ(timed.flow_cache()->stats().hits, untimed.flow_cache()->stats().hits);
+
+  // Every packet was sampled, so the stage histograms saw all of them.
+  const auto* histogram =
+      telemetry::Registry::global().find_histogram("p4iot_switch_packet_ns");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_GE(histogram->snapshot().count, traffic.size());
+
+  telemetry::set_stage_timing_enabled(was_enabled);
+  telemetry::set_stage_sampling_shift(old_shift);
+}
+
+TEST(DataplaneEngine, PublishTelemetryExportsMergedAndPerWorkerGauges) {
+  namespace telemetry = common::telemetry;
+  EngineConfig config;
+  config.workers = 2;
+  DataplaneEngine engine(test_program(), config);
+  ASSERT_EQ(engine.install_rules(test_rules()), TableWriteStatus::kOk);
+  const auto traffic = synthetic_traffic(2000, 18);
+  (void)engine.process_batch(traffic);
+  engine.publish_telemetry();
+
+  const auto& registry = telemetry::Registry::global();
+  const auto* workers = registry.find_gauge("p4iot_engine_workers");
+  ASSERT_NE(workers, nullptr);
+  EXPECT_DOUBLE_EQ(workers->value(), 2.0);
+
+  // Per-worker packet gauges exist and sum to the batch size.
+  double per_worker_sum = 0.0;
+  for (std::size_t w = 0; w < engine.worker_count(); ++w) {
+    const auto* gauge = registry.find_gauge("p4iot_engine_worker_packets{worker=\"" +
+                                            std::to_string(w) + "\"}");
+    ASSERT_NE(gauge, nullptr) << "worker " << w;
+    per_worker_sum += gauge->value();
+  }
+  EXPECT_DOUBLE_EQ(per_worker_sum, static_cast<double>(traffic.size()));
+
+  // Merged dataplane totals mirror the merged stats() view.
+  const auto* packets = registry.find_gauge("p4iot_dataplane_packets_total");
+  ASSERT_NE(packets, nullptr);
+  EXPECT_DOUBLE_EQ(packets->value(), static_cast<double>(engine.stats().packets));
+
+  const auto* hit_rate = registry.find_gauge("p4iot_flow_cache_hit_rate");
+  ASSERT_NE(hit_rate, nullptr);
+  EXPECT_GE(hit_rate->value(), 0.0);
+  EXPECT_LE(hit_rate->value(), 1.0);
+}
+
+TEST(DataplaneEngine, BatchSpansAndPeriodicSnapshotHookFire) {
+  namespace telemetry = common::telemetry;
+  const auto batches_before =
+      telemetry::Registry::global().counter("p4iot_engine_batches_total").value();
+  EngineConfig config;
+  config.workers = 2;
+  config.snapshot_interval_batches = 2;
+  DataplaneEngine engine(test_program(), config);
+  ASSERT_EQ(engine.install_rules(test_rules()), TableWriteStatus::kOk);
+  int hook_calls = 0;
+  engine.set_snapshot_hook([&] { ++hook_calls; });
+
+  const auto traffic = synthetic_traffic(400, 19);
+  for (int b = 0; b < 5; ++b) (void)engine.process_batch(traffic);
+  EXPECT_EQ(hook_calls, 2);  // after batches 2 and 4
+  const auto batches_after =
+      telemetry::Registry::global().counter("p4iot_engine_batches_total").value();
+  EXPECT_EQ(batches_after - batches_before, 5u);
+
+  // The batch dispatches left engine.batch spans in the global recorder.
+  bool saw_batch_span = false;
+  for (const auto& span : telemetry::SpanRecorder::global().snapshot())
+    if (span.name == "engine.batch") saw_batch_span = true;
+  EXPECT_TRUE(saw_batch_span);
+}
+
 TEST(DataplaneEngine, EmptyBatchAndRepeatedBatchesAreSafe) {
   DataplaneEngine engine(test_program(), {.workers = 2});
   ASSERT_EQ(engine.install_rules(test_rules()), TableWriteStatus::kOk);

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <string>
 
+#include "common/telemetry.h"
 #include "trafficgen/datasets.h"
 #include "trafficgen/wifi_gen.h"
 
@@ -138,6 +140,56 @@ TEST(Controller, EventsTimestampedMonotonically) {
     EXPECT_GE(e.time_s, prev);
     prev = e.time_s;
   }
+}
+
+TEST(Controller, SwapRecordsSpansAndCounters) {
+  namespace telemetry = common::telemetry;
+  // Global telemetry accumulates across tests, so assert on deltas.
+  auto& registry = telemetry::Registry::global();
+  const auto swaps_before = registry.counter("p4iot_controller_swaps_total").value();
+  const auto spans_before = telemetry::SpanRecorder::global().total_recorded();
+
+  Controller controller(fast_config(), truth_oracle());
+  ASSERT_TRUE(controller.bootstrap(wifi_trace({pkt::AttackType::kSynFlood}, 21)));
+
+  EXPECT_EQ(registry.counter("p4iot_controller_swaps_total").value(),
+            swaps_before + 1);
+  EXPECT_GT(telemetry::SpanRecorder::global().total_recorded(), spans_before);
+
+  // The bootstrap swap leaves the full lifecycle in the recorder: build,
+  // install, verify, retire, then the enclosing controller.swap.
+  std::set<std::string> stages;
+  std::string swap_note;
+  for (const auto& span : telemetry::SpanRecorder::global().snapshot()) {
+    stages.insert(span.name);
+    if (span.name == "controller.swap") swap_note = span.note;
+  }
+  for (const char* stage :
+       {"swap.build", "swap.install", "swap.verify", "swap.retire",
+        "controller.swap"})
+    EXPECT_TRUE(stages.count(stage)) << "missing span " << stage;
+  EXPECT_NE(swap_note.find("ok"), std::string::npos) << swap_note;
+}
+
+TEST(Controller, PublishTelemetryExportsHealthGauges) {
+  namespace telemetry = common::telemetry;
+  Controller controller(fast_config(), truth_oracle());
+  const auto train = wifi_trace({pkt::AttackType::kSynFlood}, 22);
+  ASSERT_TRUE(controller.bootstrap(train));
+  for (const auto& p : train.packets()) (void)controller.handle(p);
+  controller.publish_telemetry();
+
+  const auto& registry = telemetry::Registry::global();
+  const auto* packets = registry.find_gauge("p4iot_controller_packets_total");
+  ASSERT_NE(packets, nullptr);
+  EXPECT_DOUBLE_EQ(packets->value(),
+                   static_cast<double>(controller.stats().packets));
+  const auto* degraded = registry.find_gauge("p4iot_controller_degraded");
+  ASSERT_NE(degraded, nullptr);
+  EXPECT_DOUBLE_EQ(degraded->value(), 0.0);
+  const auto* miss_rate = registry.find_gauge("p4iot_controller_miss_rate");
+  ASSERT_NE(miss_rate, nullptr);
+  EXPECT_DOUBLE_EQ(miss_rate->value(), controller.current_miss_rate());
 }
 
 }  // namespace

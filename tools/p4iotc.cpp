@@ -5,40 +5,59 @@
 //   p4iotc eval     --model model.bin --trace cap.trc
 //   p4iotc inspect  --model model.bin
 //   p4iotc convert  --trace cap.trc --pcap-prefix cap
+//   p4iotc stats    --trace cap.trc [--workers 4] [--batch 2048]
+//
+// Any command accepts --metrics-out FILE (Prometheus text snapshot of the
+// telemetry registry) and --trace-out FILE (chrome://tracing span JSON),
+// written after the command finishes. Options may be spelled --key value or
+// --key=value.
 //
 // Exit status: 0 on success, 1 on usage errors, 2 on I/O / data errors.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
+#include <vector>
 
+#include "common/telemetry.h"
+#include "common/telemetry_export.h"
 #include "core/evaluation.h"
 #include "core/pipeline.h"
 #include "core/serialize.h"
+#include "p4/engine.h"
 #include "packet/dissect.h"
 #include "packet/pcap.h"
 #include "packet/trace.h"
+#include "sdn/controller.h"
 #include "trafficgen/datasets.h"
 
 namespace {
 
 using namespace p4iot;
 
-/// Minimal --key value argument map.
+/// Minimal argument map; accepts `--key value` and `--key=value`.
 class Args {
  public:
   Args(int argc, char** argv, int first) {
-    for (int i = first; i + 1 < argc; i += 2) {
+    for (int i = first; i < argc; ++i) {
       if (std::strncmp(argv[i], "--", 2) != 0) {
         error_ = std::string("expected --option, got: ") + argv[i];
         return;
       }
-      values_[argv[i] + 2] = argv[i + 1];
+      const std::string token = argv[i] + 2;
+      const auto eq = token.find('=');
+      if (eq != std::string::npos) {
+        values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (i + 1 < argc) {
+        values_[token] = argv[++i];
+      } else {
+        error_ = std::string("option missing a value: ") + argv[i];
+        return;
+      }
     }
-    if ((argc - first) % 2 != 0)
-      error_ = std::string("option missing a value: ") + argv[argc - 1];
   }
 
   const std::string& error() const noexcept { return error_; }
@@ -69,7 +88,11 @@ int usage() {
                "           [--fields K] [--p4 FILE.p4] [--rules FILE.txt]\n"
                "  eval     --model MODEL.bin --trace FILE.trc\n"
                "  inspect  --model MODEL.bin\n"
-               "  convert  --trace FILE.trc --pcap-prefix PREFIX\n");
+               "  convert  --trace FILE.trc --pcap-prefix PREFIX\n"
+               "  stats    --trace FILE.trc [--fields K] [--workers N] [--batch N]\n"
+               "any command also accepts:\n"
+               "  --metrics-out FILE   Prometheus snapshot of runtime telemetry\n"
+               "  --trace-out FILE     chrome://tracing JSON of recorded spans\n");
   return 1;
 }
 
@@ -229,6 +252,112 @@ int cmd_convert(const Args& args) {
   return 0;
 }
 
+/// Replay a labelled trace through the full runtime (controller with a
+/// transactional bootstrap swap, then the multi-worker engine) and report
+/// live telemetry: verdict mix, cache hit rate, per-stage latency
+/// percentiles, per-worker packet counts. The usual companion flags
+/// --metrics-out / --trace-out turn the run into machine-readable snapshots.
+int cmd_stats(const Args& args) {
+  const auto trace_path = args.get("trace");
+  if (!trace_path) return usage();
+  const auto trace = pkt::read_trace(*trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", trace_path->c_str());
+    return 2;
+  }
+
+  namespace telemetry = common::telemetry;
+  const auto k = static_cast<std::size_t>(args.number_or("fields", 4));
+  const auto workers = static_cast<std::size_t>(args.number_or("workers", 4));
+  const auto batch_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.number_or("batch", 2048)));
+
+  // Sample stage latency densely for this one-shot report: the replay is
+  // offline, so the hot-path budget that dictates 1/64 in production does
+  // not apply here.
+  telemetry::set_stage_sampling_shift(2);
+
+  // Control plane: bootstrap performs the transactional build → install →
+  // verify → retire swap (recorded as spans), then the replay exercises the
+  // sampling/drift loop against the trace's own labels.
+  sdn::ControllerConfig config;
+  config.pipeline = core::PipelineConfig::with_fields(k);
+  sdn::Controller controller(
+      config, [](const pkt::Packet& p) { return std::optional<bool>(p.is_attack()); });
+  if (!controller.bootstrap(*trace)) {
+    std::fprintf(stderr, "bootstrap failed (table too small?)\n");
+    return 2;
+  }
+  for (const auto& packet : trace->packets()) (void)controller.handle(packet);
+  controller.publish_telemetry();
+
+  // Data plane at scale: the same rules served by the multi-worker engine.
+  p4::EngineConfig engine_config;
+  engine_config.workers = workers;
+  const auto engine = controller.pipeline().make_engine(engine_config);
+  const auto& packets = trace->packets();
+  std::vector<p4::Verdict> verdicts;
+  for (std::size_t off = 0; off < packets.size(); off += batch_size) {
+    const auto count = std::min(batch_size, packets.size() - off);
+    engine->process_batch(std::span(packets).subspan(off, count), verdicts);
+  }
+  engine->publish_telemetry();
+
+  const auto stats = engine->stats();
+  const auto cache = engine->flow_cache_stats();
+  std::printf("replayed %llu packets through %zu workers (batch %zu)\n",
+              static_cast<unsigned long long>(stats.packets), engine->worker_count(),
+              batch_size);
+  std::printf("verdicts: %llu permitted, %llu dropped, %llu mirrored, %llu malformed\n",
+              static_cast<unsigned long long>(stats.permitted),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.mirrored),
+              static_cast<unsigned long long>(stats.malformed));
+  std::printf("flow cache: %.1f%% hit rate (%llu hits / %llu misses)\n",
+              100.0 * cache.hit_rate(), static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses));
+  std::printf("controller: %zu events, %zu retrains, degraded=%s\n",
+              controller.events().size(), controller.retrain_count(),
+              controller.degraded() ? "yes" : "no");
+
+  const auto& registry = telemetry::Registry::global();
+  std::printf("stage latency (sampled, ns):\n");
+  for (const char* name :
+       {"p4iot_switch_parse_ns", "p4iot_switch_cache_hit_ns",
+        "p4iot_switch_tcam_scan_ns", "p4iot_switch_guard_ns",
+        "p4iot_switch_packet_ns"}) {
+    const auto* histogram = registry.find_histogram(name);
+    if (!histogram) continue;
+    const auto snap = histogram->snapshot();
+    if (snap.count == 0) continue;
+    std::printf("  %-28s p50=%-8.0f p95=%-8.0f p99=%-8.0f max=%llu (n=%llu)\n",
+                name, snap.percentile(50), snap.percentile(95), snap.percentile(99),
+                static_cast<unsigned long long>(snap.max),
+                static_cast<unsigned long long>(snap.count));
+  }
+  return 0;
+}
+
+/// --metrics-out / --trace-out: serialize the telemetry accumulated during
+/// whatever command just ran.
+int write_telemetry_outputs(const Args& args) {
+  if (const auto metrics_path = args.get("metrics-out")) {
+    if (!common::telemetry::write_prometheus(*metrics_path)) {
+      std::fprintf(stderr, "cannot write %s\n", metrics_path->c_str());
+      return 2;
+    }
+    std::printf("telemetry metrics written to %s\n", metrics_path->c_str());
+  }
+  if (const auto trace_path = args.get("trace-out")) {
+    if (!common::telemetry::write_trace_json(*trace_path)) {
+      std::fprintf(stderr, "cannot write %s\n", trace_path->c_str());
+      return 2;
+    }
+    std::printf("span trace written to %s\n", trace_path->c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -240,10 +369,15 @@ int main(int argc, char** argv) {
     return usage();
   }
 
-  if (command == "generate") return cmd_generate(args);
-  if (command == "train") return cmd_train(args);
-  if (command == "eval") return cmd_eval(args);
-  if (command == "inspect") return cmd_inspect(args);
-  if (command == "convert") return cmd_convert(args);
-  return usage();
+  int status;
+  if (command == "generate") status = cmd_generate(args);
+  else if (command == "train") status = cmd_train(args);
+  else if (command == "eval") status = cmd_eval(args);
+  else if (command == "inspect") status = cmd_inspect(args);
+  else if (command == "convert") status = cmd_convert(args);
+  else if (command == "stats") status = cmd_stats(args);
+  else return usage();
+
+  if (status != 0) return status;
+  return write_telemetry_outputs(args);
 }
