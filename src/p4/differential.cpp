@@ -1,6 +1,7 @@
 #include "p4/differential.h"
 
 #include <cstdio>
+#include <memory>
 
 namespace p4iot::p4 {
 
@@ -37,6 +38,14 @@ void fail(DifferentialReport& report, std::size_t at, std::string detail) {
   report.detail = std::move(detail);
 }
 
+/// One switch-based execution path under comparison (the engine path is
+/// handled separately because its counter accessors differ).
+struct SwitchPath {
+  std::string name;
+  std::unique_ptr<P4Switch> sw;
+  std::vector<Verdict> verdicts;
+};
+
 }  // namespace
 
 DifferentialReport run_differential(const P4Program& program,
@@ -46,83 +55,111 @@ DifferentialReport run_differential(const P4Program& program,
   DifferentialReport report;
   report.packets = traffic.size();
 
-  // Path 1: sequential uncached switch — the reference model.
-  P4Switch seq(program, config.table_capacity);
-  // Path 2: batched switch with the flow-verdict cache in front of the scan.
-  P4Switch cached(program, config.table_capacity);
-  cached.enable_flow_cache(config.flow_cache_capacity);
-  // Path 3: N-worker sharded engine with per-worker caches.
-  DataplaneEngine engine(program, EngineConfig{config.engine_workers,
-                                              config.table_capacity,
-                                              config.flow_cache_capacity});
+  const auto make_switch = [&](bool cache, MatchBackend backend) {
+    auto sw = std::make_unique<P4Switch>(program, config.table_capacity);
+    sw->install_rules(rules);
+    sw->set_malformed_policy(config.malformed_policy);
+    sw->set_match_backend(backend);
+    if (cache) sw->enable_flow_cache(config.flow_cache_capacity);
+    if (config.rate_guard) sw->set_rate_guard(*config.rate_guard);
+    return sw;
+  };
 
-  seq.install_rules(rules);
-  cached.install_rules(rules);
-  engine.install_rules(rules);
-  seq.set_malformed_policy(config.malformed_policy);
-  cached.set_malformed_policy(config.malformed_policy);
-  engine.set_malformed_policy(config.malformed_policy);
-  if (config.rate_guard) {
-    seq.set_rate_guard(*config.rate_guard);
-    cached.set_rate_guard(*config.rate_guard);
-    engine.set_rate_guard(*config.rate_guard);
+  // Reference: sequential per-packet switch, uncached linear priority scan.
+  const auto seq = make_switch(false, MatchBackend::kLinear);
+
+  // Batched variants compared against it.
+  std::vector<SwitchPath> paths;
+  paths.push_back({"cached-batch", make_switch(true, MatchBackend::kLinear), {}});
+  if (config.include_compiled) {
+    paths.push_back({"compiled", make_switch(false, MatchBackend::kCompiled), {}});
+    paths.push_back(
+        {"compiled+cache", make_switch(true, MatchBackend::kCompiled), {}});
   }
+
+  // N-worker sharded engine with per-worker caches.
+  EngineConfig engine_config;
+  engine_config.workers = config.engine_workers;
+  engine_config.table_capacity = config.table_capacity;
+  engine_config.flow_cache_capacity = config.flow_cache_capacity;
+  engine_config.match_backend = config.engine_backend;
+  DataplaneEngine engine(program, engine_config);
+  engine.install_rules(rules);
+  engine.set_malformed_policy(config.malformed_policy);
+  if (config.rate_guard) engine.set_rate_guard(*config.rate_guard);
+  const std::string engine_name =
+      std::string("engine(") + match_backend_name(config.engine_backend) + ")";
+
+  // Switch variants + the engine + the sequential reference itself.
+  report.paths = paths.size() + 2;
 
   std::vector<Verdict> seq_verdicts;
   seq_verdicts.reserve(traffic.size());
-  for (const auto& packet : traffic) seq_verdicts.push_back(seq.process(packet));
+  for (const auto& packet : traffic) seq_verdicts.push_back(seq->process(packet));
 
   const std::size_t step =
       config.batch_size == 0 ? std::max<std::size_t>(traffic.size(), 1)
                              : config.batch_size;
-  std::vector<Verdict> cached_verdicts;
+  for (auto& path : paths) path.verdicts.reserve(traffic.size());
   std::vector<Verdict> engine_verdicts;
-  cached_verdicts.reserve(traffic.size());
   engine_verdicts.reserve(traffic.size());
   for (std::size_t at = 0; at < traffic.size(); at += step) {
     const auto chunk = traffic.subspan(at, std::min(step, traffic.size() - at));
-    const auto from_cached = cached.process_batch(chunk);
-    cached_verdicts.insert(cached_verdicts.end(), from_cached.begin(),
-                           from_cached.end());
+    for (auto& path : paths) {
+      const auto batch = path.sw->process_batch(chunk);
+      path.verdicts.insert(path.verdicts.end(), batch.begin(), batch.end());
+    }
     const auto from_engine = engine.process_batch(chunk);
     engine_verdicts.insert(engine_verdicts.end(), from_engine.begin(),
                            from_engine.end());
   }
 
-  for (std::size_t i = 0; i < traffic.size(); ++i) {
-    if (!same_verdict(seq_verdicts[i], cached_verdicts[i])) {
-      fail(report, i,
-           "packet " + std::to_string(i) + ": sequential " +
-               format_verdict(seq_verdicts[i]) + " vs cached-batch " +
-               format_verdict(cached_verdicts[i]));
-      break;
+  for (std::size_t i = 0; i < traffic.size() && report.equivalent; ++i) {
+    for (const auto& path : paths) {
+      if (!same_verdict(seq_verdicts[i], path.verdicts[i])) {
+        fail(report, i,
+             "packet " + std::to_string(i) + ": sequential " +
+                 format_verdict(seq_verdicts[i]) + " vs " + path.name + " " +
+                 format_verdict(path.verdicts[i]));
+        break;
+      }
     }
-    if (!same_verdict(seq_verdicts[i], engine_verdicts[i])) {
+    if (report.equivalent && !same_verdict(seq_verdicts[i], engine_verdicts[i]))
       fail(report, i,
            "packet " + std::to_string(i) + ": sequential " +
-               format_verdict(seq_verdicts[i]) + " vs engine " +
+               format_verdict(seq_verdicts[i]) + " vs " + engine_name + " " +
                format_verdict(engine_verdicts[i]));
-      break;
-    }
   }
 
-  const auto& ref = seq.stats();
-  if (!same_stats(ref, cached.stats()))
-    fail(report, traffic.size(), "aggregate stats diverge: sequential vs cached-batch");
-  if (!same_stats(ref, engine.stats()))
-    fail(report, traffic.size(), "aggregate stats diverge: sequential vs engine");
-
-  for (std::size_t e = 0; e < seq.table().entry_count(); ++e) {
-    const auto want = seq.table().hit_count(e);
-    if (cached.table().hit_count(e) != want || engine.hit_count(e) != want) {
+  const auto& ref = seq->stats();
+  for (const auto& path : paths)
+    if (!same_stats(ref, path.sw->stats()))
       fail(report, traffic.size(),
-           "hit counter diverges on entry " + std::to_string(e));
-      break;
-    }
+           "aggregate stats diverge: sequential vs " + path.name);
+  if (!same_stats(ref, engine.stats()))
+    fail(report, traffic.size(),
+         "aggregate stats diverge: sequential vs " + engine_name);
+
+  for (std::size_t e = 0; e < seq->table().entry_count(); ++e) {
+    const auto want = seq->table().hit_count(e);
+    for (const auto& path : paths)
+      if (path.sw->table().hit_count(e) != want)
+        fail(report, traffic.size(),
+             "hit counter diverges on entry " + std::to_string(e) + ": " +
+                 path.name);
+    if (engine.hit_count(e) != want)
+      fail(report, traffic.size(),
+           "hit counter diverges on entry " + std::to_string(e) + ": " +
+               engine_name);
+    if (!report.equivalent) break;
   }
-  if (cached.table().default_hits() != seq.table().default_hits() ||
-      engine.default_hits() != seq.table().default_hits())
-    fail(report, traffic.size(), "default-action hit counter diverges");
+  for (const auto& path : paths)
+    if (path.sw->table().default_hits() != seq->table().default_hits())
+      fail(report, traffic.size(),
+           "default-action hit counter diverges: " + path.name);
+  if (engine.default_hits() != seq->table().default_hits())
+    fail(report, traffic.size(),
+         "default-action hit counter diverges: " + engine_name);
 
   report.permitted = ref.permitted;
   report.dropped = ref.dropped;

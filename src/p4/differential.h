@@ -1,13 +1,16 @@
-// Differential checker: three implementations of the same data plane must
+// Differential checker: every implementation of the same data plane must
 // agree packet-for-packet.
 //
-// The repository carries three execution paths for one pipeline semantics —
-// sequential P4Switch::process (the reference model), process_batch with the
-// flow-verdict cache in front of the TCAM scan, and the N-worker
-// DataplaneEngine with RSS sharding and per-worker caches. Each was proven
-// equivalent when introduced; this harness keeps proving it on *adversarial*
-// traffic (fuzzed, truncated, spliced frames) where a divergence would be a
-// real security bug: a packet one path drops and another forwards.
+// The repository carries several execution paths for one pipeline semantics —
+// sequential P4Switch::process with the linear priority scan (the reference
+// model), the same switch on the compiled tuple-space match backend,
+// process_batch with the flow-verdict cache in front of the linear scan,
+// the cached batch path on the compiled backend (compiled + cache), and the
+// N-worker DataplaneEngine with RSS sharding, per-worker caches and the
+// compiled backend. Each was proven equivalent when introduced; this harness
+// keeps proving it on *adversarial* traffic (fuzzed, truncated, spliced
+// frames) where a divergence would be a real security bug: a packet one path
+// drops and another forwards.
 //
 // The comparison is exact, not statistical: per-packet (action, entry_index,
 // attack_class, malformed) plus merged SwitchStats, per-entry hit counters
@@ -36,11 +39,19 @@ struct DifferentialConfig {
   std::size_t batch_size = 0;
   MalformedPolicy malformed_policy = MalformedPolicy::kZeroPad;
   std::optional<RateGuardSpec> rate_guard;
+  /// Also run the compiled-backend paths (sequential compiled and
+  /// compiled + cache) against the linear reference. On by default: the
+  /// compiled index must stay bit-identical to the scan it replaces.
+  bool include_compiled = true;
+  /// Lookup backend for the engine path's worker replicas.
+  MatchBackend engine_backend = MatchBackend::kCompiled;
 };
 
 struct DifferentialReport {
   bool equivalent = true;
   std::size_t packets = 0;
+  /// Total execution paths in the comparison, the reference included.
+  std::size_t paths = 0;
   /// Index of the first diverging packet (only valid when !equivalent).
   std::size_t first_mismatch = 0;
   /// Human-readable description of the first divergence.

@@ -28,6 +28,7 @@ DataplaneEngine::DataplaneEngine(P4Program program, EngineConfig config) {
     workers_.push_back(std::make_unique<Worker>(program, config.table_capacity));
     if (config.flow_cache_capacity > 0)
       workers_.back()->sw.enable_flow_cache(config.flow_cache_capacity);
+    workers_.back()->sw.set_match_backend(config.match_backend);
   }
   rebuild_shard_fields();
   threads_.reserve(n);
@@ -178,6 +179,10 @@ void DataplaneEngine::set_default_action(ActionOp action) {
 
 void DataplaneEngine::clear_rules() {
   for (auto& w : workers_) w->sw.clear_rules();
+}
+
+void DataplaneEngine::set_match_backend(MatchBackend backend) {
+  for (auto& w : workers_) w->sw.set_match_backend(backend);
 }
 
 void DataplaneEngine::set_malformed_policy(MalformedPolicy policy) {

@@ -40,6 +40,10 @@ struct EngineConfig {
   /// Publish merged telemetry gauges (and invoke the snapshot hook, if any)
   /// every N completed batches; 0 disables periodic snapshots.
   std::size_t snapshot_interval_batches = 0;
+  /// Lookup backend for every worker replica. The engine is the scale path,
+  /// so it defaults to the compiled tuple-space index; the single P4Switch
+  /// keeps the linear scan as its faithful default.
+  MatchBackend match_backend = MatchBackend::kCompiled;
 };
 
 class DataplaneEngine {
@@ -62,6 +66,10 @@ class DataplaneEngine {
   void set_default_action(ActionOp action);
   void clear_rules();
   void set_malformed_policy(MalformedPolicy policy);
+  void set_match_backend(MatchBackend backend);
+  MatchBackend match_backend() const noexcept {
+    return workers_[0]->sw.match_backend();
+  }
   void set_rate_guard(const RateGuardSpec& spec);
   void clear_rate_guard();
 

@@ -31,6 +31,13 @@ struct FieldRef {
 enum class MatchKind : std::uint8_t { kExact = 0, kTernary = 1, kLpm = 2, kRange = 3 };
 const char* match_kind_name(MatchKind kind) noexcept;
 
+/// All-ones mask covering a field `bytes` wide — the value domain of an
+/// extracted field (shared by table validation and the compiled match
+/// engine's exact-field signatures).
+constexpr std::uint64_t field_width_mask(std::size_t bytes) noexcept {
+  return bytes >= 8 ? ~0ULL : ((1ULL << (bytes * 8)) - 1);
+}
+
 /// A table key: a field plus how it is matched.
 struct KeySpec {
   FieldRef field;

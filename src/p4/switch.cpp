@@ -22,6 +22,9 @@ P4Switch::StageMetrics P4Switch::StageMetrics::acquire() {
                      "Flow-cache-hit lookup latency in ns (sampled)"),
       &reg.histogram("p4iot_switch_tcam_scan_ns",
                      "TCAM priority-scan latency in ns, cache miss or uncached (sampled)"),
+      &reg.histogram("p4iot_switch_tcam_scan_ns{path=\"compiled\"}",
+                     "Compiled tuple-space match latency in ns, cache miss or "
+                     "uncached (sampled)"),
       &reg.histogram("p4iot_switch_guard_ns",
                      "Rate-guard stage latency in ns (sampled)"),
       &reg.histogram("p4iot_switch_packet_ns",
@@ -136,7 +139,10 @@ Verdict P4Switch::process_timed(const pkt::Packet& packet) {
   bool cache_hit = false;
   auto result = lookup_cached(scratch_values_, &cache_hit);
   const std::uint64_t t2 = telemetry::now_ns();
-  (cache_hit ? stage_metrics_.cache_hit : stage_metrics_.tcam_scan)->record(t2 - t1);
+  auto* scan_histogram = table_.match_backend() == MatchBackend::kCompiled
+                             ? stage_metrics_.tcam_scan_compiled
+                             : stage_metrics_.tcam_scan;
+  (cache_hit ? stage_metrics_.cache_hit : scan_histogram)->record(t2 - t1);
 
   std::uint8_t attack_class =
       result.entry_index >= 0
@@ -210,6 +216,20 @@ void P4Switch::publish_telemetry() const {
   reg.set_gauge("p4iot_dataplane_table_entries",
                 static_cast<double>(table_.entry_count()),
                 "Installed firewall rules");
+  reg.set_gauge("p4iot_dataplane_match_backend",
+                static_cast<double>(static_cast<int>(table_.match_backend())),
+                "Active lookup backend (0 = linear scan, 1 = compiled)");
+  if (const CompiledMatchEngine* index = table_.compiled_index()) {
+    reg.set_gauge("p4iot_match_groups", static_cast<double>(index->group_count()),
+                  "Tuple-space groups in the compiled match index");
+    reg.set_gauge("p4iot_match_index_rebuilds",
+                  static_cast<double>(index->stats().full_rebuilds),
+                  "Full compiled-index rebuilds");
+    reg.set_gauge("p4iot_match_index_incremental_updates",
+                  static_cast<double>(index->stats().incremental_inserts +
+                                      index->stats().incremental_erases),
+                  "Single-entry compiled-index updates applied in place");
+  }
 
   if (flow_cache_) {
     const auto& cache = flow_cache_->stats();

@@ -87,6 +87,15 @@ class P4Switch {
   void set_default_action(ActionOp action) noexcept { table_.set_default_action(action); }
   void clear_rules() { table_.clear(); }
 
+  /// Lookup implementation for cache-miss/uncached packets: the linear
+  /// priority scan (default — the faithful reference model) or the
+  /// tuple-space compiled index (see p4/match_engine.h). Verdict-identical
+  /// by construction; sampled scan latency lands in the
+  /// `p4iot_switch_tcam_scan_ns{path="compiled"}` histogram instead of the
+  /// unlabelled linear one.
+  void set_match_backend(MatchBackend backend) { table_.set_match_backend(backend); }
+  MatchBackend match_backend() const noexcept { return table_.match_backend(); }
+
   /// Mirror sink: invoked for packets whose matching action is kMirror.
   using MirrorHandler = std::function<void(const pkt::Packet&)>;
   void set_mirror_handler(MirrorHandler handler) { mirror_ = std::move(handler); }
@@ -154,6 +163,7 @@ class P4Switch {
     common::telemetry::LatencyHistogram* parse;
     common::telemetry::LatencyHistogram* cache_hit;
     common::telemetry::LatencyHistogram* tcam_scan;
+    common::telemetry::LatencyHistogram* tcam_scan_compiled;
     common::telemetry::LatencyHistogram* guard;
     common::telemetry::LatencyHistogram* packet;
     static StageMetrics acquire();

@@ -15,10 +15,6 @@ const char* table_write_status_name(TableWriteStatus status) noexcept {
 }
 
 namespace {
-std::uint64_t width_mask(std::size_t bytes) noexcept {
-  return bytes >= 8 ? ~0ULL : ((1ULL << (bytes * 8)) - 1);
-}
-
 bool is_prefix_mask(std::uint64_t mask, std::size_t bits) noexcept {
   // A valid LPM mask is a left-contiguous run of 1s within the field width.
   const std::uint64_t full = bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
@@ -33,7 +29,7 @@ TableWriteStatus MatchActionTable::validate(const TableEntry& entry) const {
   for (std::size_t i = 0; i < keys_.size(); ++i) {
     const auto& key = keys_[i];
     const auto& f = entry.fields[i];
-    const std::uint64_t full = width_mask(key.field.width);
+    const std::uint64_t full = field_width_mask(key.field.width);
     switch (key.kind) {
       case MatchKind::kExact:
         if ((f.value & ~full) != 0) return TableWriteStatus::kInvalidField;
@@ -68,14 +64,16 @@ TableWriteStatus MatchActionTable::add_entry(TableEntry entry) {
   entries_.insert(pos, std::move(entry));
   hits_.insert(hits_.begin() + static_cast<std::ptrdiff_t>(idx), 0);
   ++version_;
+  if (compiled_) compiled_->on_insert(entries_, idx, version_);
   return TableWriteStatus::kOk;
 }
 
 bool MatchActionTable::remove_entry(std::size_t index) {
   if (index >= entries_.size()) return false;
+  ++version_;
+  if (compiled_) compiled_->on_erase(entries_, index, version_);
   entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
   hits_.erase(hits_.begin() + static_cast<std::ptrdiff_t>(index));
-  ++version_;
   return true;
 }
 
@@ -84,6 +82,7 @@ void MatchActionTable::clear() {
   hits_.clear();
   default_hits_ = 0;
   ++version_;
+  if (compiled_) compiled_->rebuild(entries_, version_);
 }
 
 TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entries) {
@@ -100,47 +99,49 @@ TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entri
   hits_.assign(entries_.size(), 0);
   default_hits_ = 0;
   ++version_;
+  if (compiled_) compiled_->rebuild(entries_, version_);
   return TableWriteStatus::kOk;
+}
+
+void MatchActionTable::set_match_backend(MatchBackend backend) {
+  if (backend == backend_) return;
+  backend_ = backend;
+  if (backend_ == MatchBackend::kCompiled) {
+    if (!compiled_) compiled_ = std::make_unique<CompiledMatchEngine>(keys_);
+    compiled_->rebuild(entries_, version_);
+  } else {
+    compiled_.reset();
+  }
 }
 
 bool MatchActionTable::matches(const TableEntry& entry,
                                std::span<const std::uint64_t> values) const {
-  for (std::size_t i = 0; i < keys_.size(); ++i) {
-    const auto v = i < values.size() ? values[i] : 0;
-    const auto& f = entry.fields[i];
-    switch (keys_[i].kind) {
-      case MatchKind::kExact:
-        if (v != f.value) return false;
-        break;
-      case MatchKind::kTernary:
-      case MatchKind::kLpm:
-        if ((v & f.mask) != f.value) return false;
-        break;
-      case MatchKind::kRange:
-        if (v < f.range_lo || v > f.range_hi) return false;
-        break;
-    }
-  }
-  return true;
+  return entry_matches(keys_, entry, values);
+}
+
+std::size_t MatchActionTable::find_match(
+    std::span<const std::uint64_t> values) const {
+  if (compiled_ && backend_ == MatchBackend::kCompiled)
+    return compiled_->find(values, entries_);
+  for (std::size_t i = 0; i < entries_.size(); ++i)
+    if (matches(entries_[i], values)) return i;
+  return CompiledMatchEngine::knpos;
 }
 
 LookupResult MatchActionTable::lookup(std::span<const std::uint64_t> values) {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (matches(entries_[i], values)) {
-      ++hits_[i];
-      return {entries_[i].action, static_cast<std::int64_t>(i)};
-    }
+  const auto i = find_match(values);
+  if (i == CompiledMatchEngine::knpos) {
+    ++default_hits_;
+    return {default_action_, -1};
   }
-  ++default_hits_;
-  return {default_action_, -1};
+  ++hits_[i];
+  return {entries_[i].action, static_cast<std::int64_t>(i)};
 }
 
 LookupResult MatchActionTable::peek(std::span<const std::uint64_t> values) const {
-  for (std::size_t i = 0; i < entries_.size(); ++i) {
-    if (matches(entries_[i], values))
-      return {entries_[i].action, static_cast<std::int64_t>(i)};
-  }
-  return {default_action_, -1};
+  const auto i = find_match(values);
+  if (i == CompiledMatchEngine::knpos) return {default_action_, -1};
+  return {entries_[i].action, static_cast<std::int64_t>(i)};
 }
 
 void MatchActionTable::record_hit(std::int64_t entry_index) noexcept {

@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "p4/ir.h"
+#include "p4/match_engine.h"
 
 namespace p4iot::p4 {
 
@@ -61,6 +63,18 @@ class MatchActionTable {
   /// contents to a version and drop them when it moves.
   std::uint64_t version() const noexcept { return version_; }
 
+  /// Select the lookup implementation: the priority-ordered linear scan
+  /// (reference oracle) or the tuple-space compiled index. Switching never
+  /// changes verdicts or counters — only lookup cost — so the table version
+  /// does not move. The compiled index tracks table writes incrementally
+  /// via the same epoch mechanism that invalidates the flow-verdict cache.
+  void set_match_backend(MatchBackend backend);
+  MatchBackend match_backend() const noexcept { return backend_; }
+  /// Compiled index introspection; nullptr while the backend is linear.
+  const CompiledMatchEngine* compiled_index() const noexcept {
+    return backend_ == MatchBackend::kCompiled ? compiled_.get() : nullptr;
+  }
+
   const std::string& name() const noexcept { return name_; }
   const std::vector<KeySpec>& keys() const noexcept { return keys_; }
   std::size_t entry_count() const noexcept { return entries_.size(); }
@@ -86,6 +100,10 @@ class MatchActionTable {
  private:
   bool matches(const TableEntry& entry, std::span<const std::uint64_t> values) const;
   TableWriteStatus validate(const TableEntry& entry) const;
+  /// Winning entry index for `values` under the active backend, or
+  /// CompiledMatchEngine::knpos for the default action (counter-free core
+  /// shared by lookup and peek).
+  std::size_t find_match(std::span<const std::uint64_t> values) const;
 
   std::string name_ = "table";
   std::vector<KeySpec> keys_;
@@ -95,6 +113,8 @@ class MatchActionTable {
   std::vector<std::uint64_t> hits_;       ///< parallel to entries_
   std::uint64_t default_hits_ = 0;
   std::uint64_t version_ = 0;             ///< see version()
+  MatchBackend backend_ = MatchBackend::kLinear;
+  std::unique_ptr<CompiledMatchEngine> compiled_;  ///< live when compiled
 };
 
 }  // namespace p4iot::p4

@@ -15,15 +15,31 @@ test -s "$DIR/fw.p4"
 test -s "$DIR/rules.txt"
 test -s "$DIR/cap_ethernet.pcap"
 # Telemetry: stats replay with --key=value spelling and both exporters.
+# Capture stdout and assert on it explicitly (exit status alone would let a
+# silently-empty report pass).
 "$P4IOTC" stats --trace="$DIR/cap.trc" --workers=2 \
-  --metrics-out "$DIR/metrics.prom" --trace-out "$DIR/spans.json"
+  --metrics-out "$DIR/metrics.prom" --trace-out "$DIR/spans.json" \
+  > "$DIR/stats.out"
+status=$?
+test "$status" -eq 0
+grep -q "replayed" "$DIR/stats.out"
+grep -q "flow cache:" "$DIR/stats.out"
+grep -q "match backend: compiled" "$DIR/stats.out"
 grep -q "p4iot_flow_cache_hit_rate" "$DIR/metrics.prom"
 grep -q "p4iot_switch_packet_ns_p99" "$DIR/metrics.prom"
+grep -q "p4iot_dataplane_match_backend" "$DIR/metrics.prom"
 grep -q 'p4iot_engine_worker_packets{worker="0"}' "$DIR/metrics.prom"
 grep -q "controller.swap" "$DIR/spans.json"
+# The reference linear backend stays selectable and says so.
+"$P4IOTC" stats --trace "$DIR/cap.trc" --workers 2 --match-backend=linear \
+  > "$DIR/stats_linear.out"
+grep -q "match backend: linear" "$DIR/stats_linear.out"
 # Error paths exit non-zero.
 if "$P4IOTC" eval --model /nonexistent --trace "$DIR/cap.trc" 2>/dev/null; then
   echo "expected failure on missing model" >&2; exit 1
+fi
+if "$P4IOTC" stats --trace "$DIR/cap.trc" --match-backend bogus 2>/dev/null; then
+  echo "expected failure on bogus match backend" >&2; exit 1
 fi
 if "$P4IOTC" bogus-command 2>/dev/null; then
   echo "expected failure on bogus command" >&2; exit 1

@@ -1,0 +1,157 @@
+// Golden-file tests for the P4_16 code generator.
+//
+// The emitted source is an external contract: it gets loaded onto real
+// targets (bmv2 CLI, Tofino toolchains) where silent formatting or semantic
+// drift breaks deployments long after the unit tests pass. Each test renders
+// a fixed program and compares byte-for-byte against a committed golden
+// under tests/p4/golden/; a diff fails with enough context to review.
+//
+// To regenerate after an intentional emitter change:
+//   P4IOT_UPDATE_GOLDEN=1 ./tests/test_p4 --gtest_filter='CodegenGolden.*'
+// then review the golden diff in version control like any other code change.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "p4/codegen.h"
+#include "p4/rate_guard.h"
+
+namespace p4iot::p4 {
+namespace {
+
+std::string golden_path(const std::string& name) {
+  return std::string(P4IOT_GOLDEN_DIR) + "/" + name;
+}
+
+bool update_mode() {
+  const char* env = std::getenv("P4IOT_UPDATE_GOLDEN");
+  return env != nullptr && env[0] != '\0' && env[0] != '0';
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Compare `actual` against the named golden, or rewrite it when
+/// P4IOT_UPDATE_GOLDEN is set. On mismatch, report the first diverging line
+/// so the failure is reviewable without rerunning locally.
+void expect_matches_golden(const std::string& name, const std::string& actual) {
+  const auto path = golden_path(name);
+  if (update_mode()) {
+    std::ofstream out(path, std::ios::binary);
+    ASSERT_TRUE(out.good()) << "cannot write golden " << path;
+    out << actual;
+    GTEST_LOG_(INFO) << "regenerated golden " << path;
+    return;
+  }
+  const auto expected = read_file(path);
+  ASSERT_FALSE(expected.empty())
+      << "missing golden " << path
+      << " — run with P4IOT_UPDATE_GOLDEN=1 to create it";
+  if (expected == actual) return;
+
+  std::istringstream want(expected), got(actual);
+  std::string want_line, got_line;
+  std::size_t line = 1;
+  while (true) {
+    const bool more_want = static_cast<bool>(std::getline(want, want_line));
+    const bool more_got = static_cast<bool>(std::getline(got, got_line));
+    if (!more_want && !more_got) break;
+    if (!more_want || !more_got || want_line != got_line) {
+      FAIL() << name << " diverges from golden at line " << line
+             << "\n  golden: " << (more_want ? want_line : "<eof>")
+             << "\n  actual: " << (more_got ? got_line : "<eof>")
+             << "\nIf the change is intentional, regenerate with "
+                "P4IOT_UPDATE_GOLDEN=1 and commit the diff.";
+    }
+    ++line;
+  }
+  FAIL() << name << ": content differs (same lines, different bytes — "
+            "check trailing whitespace/newlines)";
+}
+
+/// Fixed four-field selection mirroring the paper's synthesized firewall:
+/// ternary port, exact protocol, lpm source prefix, range length.
+P4Program golden_program() {
+  P4Program program;
+  program.name = "iot_firewall_golden";
+  program.parser.window_bytes = 64;
+  const FieldRef dst_port{"hdr.sel.tcp_dst_port", 36, 2};
+  const FieldRef proto{"hdr.sel.ip_proto", 23, 1};
+  const FieldRef src_net{"hdr.sel.ip_src_hi", 26, 2};
+  const FieldRef length{"hdr.sel.ip_len", 16, 2};
+  program.parser.fields = {dst_port, proto, src_net, length};
+  program.keys = {KeySpec{dst_port, MatchKind::kTernary},
+                  KeySpec{proto, MatchKind::kExact},
+                  KeySpec{src_net, MatchKind::kLpm},
+                  KeySpec{length, MatchKind::kRange}};
+  program.default_action = ActionOp::kPermit;
+  return program;
+}
+
+std::vector<TableEntry> golden_entries() {
+  std::vector<TableEntry> entries;
+  TableEntry telnet;
+  telnet.fields = {MatchField{23, 0xffff, 0, 0}, MatchField{6, 0, 0, 0},
+                   MatchField{0x0a00, 0xff00, 0, 0}, MatchField{0, 0, 0, 1500}};
+  telnet.priority = 200;
+  telnet.action = ActionOp::kDrop;
+  telnet.attack_class = 3;
+  telnet.note = "tree-path-7";
+  entries.push_back(telnet);
+
+  TableEntry mirror_dns;
+  mirror_dns.fields = {MatchField{53, 0xffff, 0, 0}, MatchField{17, 0, 0, 0},
+                       MatchField{0, 0, 0, 0}, MatchField{0, 0, 64, 512}};
+  mirror_dns.priority = 120;
+  mirror_dns.action = ActionOp::kMirror;
+  mirror_dns.attack_class = 1;
+  entries.push_back(mirror_dns);
+
+  TableEntry wildcard;
+  wildcard.fields = {MatchField{0, 0, 0, 0}, MatchField{0, 0, 0, 0},
+                     MatchField{0, 0, 0, 0}, MatchField{0, 0, 0, 0xffff}};
+  wildcard.priority = 1;
+  wildcard.action = ActionOp::kPermit;
+  entries.push_back(wildcard);
+  return entries;
+}
+
+TEST(CodegenGolden, BasicProgramSource) {
+  expect_matches_golden("basic_program.p4",
+                        generate_p4_source(golden_program()));
+}
+
+TEST(CodegenGolden, RateGuardProgramSource) {
+  RateGuardSpec guard;
+  guard.key_fields = {FieldRef{"hdr.sel.ip_src_hi", 26, 2},
+                      FieldRef{"hdr.sel.ip_src_lo", 28, 2}};
+  guard.threshold = 500;
+  guard.epoch_seconds = 1.0;
+  guard.action = ActionOp::kDrop;
+  guard.sketch.rows = 2;
+  guard.sketch.width = 512;
+  expect_matches_golden("rate_guard_program.p4",
+                        generate_p4_source(golden_program(), &guard));
+}
+
+TEST(CodegenGolden, RuntimeCommands) {
+  expect_matches_golden(
+      "runtime_commands.txt",
+      generate_runtime_commands(golden_program(), golden_entries()));
+}
+
+TEST(CodegenGolden, SanitizeIdentifierIsStable) {
+  EXPECT_EQ(sanitize_identifier("hdr.sel.tcp_dst_port"),
+            sanitize_identifier("hdr.sel.tcp_dst_port"));
+  EXPECT_NE(sanitize_identifier("a.b"), "");
+}
+
+}  // namespace
+}  // namespace p4iot::p4

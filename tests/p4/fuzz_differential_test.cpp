@@ -3,8 +3,10 @@
 // the cached batch path and the multi-worker engine. The assertions are the
 // strongest the model can make: no crash, no OOB read (enforced by the
 // sanitizer CI jobs running this same binary), a defined verdict under every
-// MalformedPolicy, and bit-identical behaviour across all three execution
-// paths — including while a controller thread swaps rules between batches.
+// MalformedPolicy, and bit-identical behaviour across all five execution
+// paths (sequential linear reference, cached batch, compiled, compiled +
+// cache, multi-worker engine on the compiled backend) — including while a
+// controller thread swaps rules between batches.
 //
 // P4IOT_FUZZ_ITERATIONS (a compile definition, raised by -DP4IOT_LONG_FUZZ)
 // sets the mutated-frame count per radio.
@@ -147,7 +149,7 @@ TEST_P(FuzzDifferential, EveryPolicyYieldsDefinedVerdicts) {
   }
 }
 
-TEST_P(FuzzDifferential, ThreePathsAgreeOnFuzzedCorpus) {
+TEST_P(FuzzDifferential, AllPathsAgreeOnFuzzedCorpus) {
   const auto traffic = corpus();
   for (const auto policy : {MalformedPolicy::kZeroPad, MalformedPolicy::kFailClosed,
                             MalformedPolicy::kFailOpen}) {
@@ -158,6 +160,8 @@ TEST_P(FuzzDifferential, ThreePathsAgreeOnFuzzedCorpus) {
                                          radio_rules(GetParam()), traffic, config);
     EXPECT_TRUE(report.equivalent)
         << malformed_policy_name(policy) << ": " << report.detail;
+    // Reference + cached-batch + compiled + compiled+cache + engine.
+    EXPECT_EQ(report.paths, 5u);
     EXPECT_EQ(report.packets, traffic.size());
     EXPECT_EQ(report.permitted + report.dropped + report.mirrored, traffic.size());
   }
@@ -190,8 +194,8 @@ INSTANTIATE_TEST_SUITE_P(AllRadios, FuzzDifferential,
 
 // Rule churn during replay: a controller thread hot-swaps the rule set
 // between batches (writes serialized against the dataplane, per the engine
-// contract) while all three paths keep processing. Verdicts may legitimately
-// change across swaps — what must hold is that the three paths change
+// contract) while all the paths keep processing. Verdicts may legitimately
+// change across swaps — what must hold is that the paths change
 // *identically* and that every swap invalidates the flow caches.
 TEST(FuzzDifferentialChurn, InterleavedControllerWritesStayEquivalent) {
   const auto traffic =

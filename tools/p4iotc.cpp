@@ -6,6 +6,7 @@
 //   p4iotc inspect  --model model.bin
 //   p4iotc convert  --trace cap.trc --pcap-prefix cap
 //   p4iotc stats    --trace cap.trc [--workers 4] [--batch 2048]
+//                   [--match-backend linear|compiled]
 //
 // Any command accepts --metrics-out FILE (Prometheus text snapshot of the
 // telemetry registry) and --trace-out FILE (chrome://tracing span JSON),
@@ -90,6 +91,7 @@ int usage() {
                "  inspect  --model MODEL.bin\n"
                "  convert  --trace FILE.trc --pcap-prefix PREFIX\n"
                "  stats    --trace FILE.trc [--fields K] [--workers N] [--batch N]\n"
+               "           [--match-backend linear|compiled]\n"
                "any command also accepts:\n"
                "  --metrics-out FILE   Prometheus snapshot of runtime telemetry\n"
                "  --trace-out FILE     chrome://tracing JSON of recorded spans\n");
@@ -292,8 +294,18 @@ int cmd_stats(const Args& args) {
   controller.publish_telemetry();
 
   // Data plane at scale: the same rules served by the multi-worker engine.
+  // --match-backend selects the worker lookup implementation: `compiled`
+  // (default, the tuple-space index) or `linear` (the reference TCAM scan).
+  const auto backend_name = args.get_or("match-backend", "compiled");
+  const auto backend = p4::parse_match_backend(backend_name);
+  if (!backend) {
+    std::fprintf(stderr, "unknown match backend: %s (expected linear|compiled)\n",
+                 backend_name.c_str());
+    return 1;
+  }
   p4::EngineConfig engine_config;
   engine_config.workers = workers;
+  engine_config.match_backend = *backend;
   const auto engine = controller.pipeline().make_engine(engine_config);
   const auto& packets = trace->packets();
   std::vector<p4::Verdict> verdicts;
@@ -316,6 +328,14 @@ int cmd_stats(const Args& args) {
   std::printf("flow cache: %.1f%% hit rate (%llu hits / %llu misses)\n",
               100.0 * cache.hit_rate(), static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses));
+  if (const auto* index = engine->worker(0).table().compiled_index()) {
+    std::printf("match backend: %s (%zu tuple-space groups over %zu entries)\n",
+                p4::match_backend_name(engine->match_backend()),
+                index->group_count(), engine->worker(0).table().entry_count());
+  } else {
+    std::printf("match backend: %s\n",
+                p4::match_backend_name(engine->match_backend()));
+  }
   std::printf("controller: %zu events, %zu retrains, degraded=%s\n",
               controller.events().size(), controller.retrain_count(),
               controller.degraded() ? "yes" : "no");
