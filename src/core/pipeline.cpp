@@ -89,6 +89,10 @@ p4::TableWriteStatus TwoStagePipeline::install(p4::P4Switch& sw) const {
   return sw.install_rules(rules_.entries);
 }
 
+p4::TableWriteStatus TwoStagePipeline::install(p4::DataplaneEngine& engine) const {
+  return engine.install_rules(rules_.entries);
+}
+
 std::string TwoStagePipeline::p4_source() const {
   return p4::generate_p4_source(rules_.program);
 }

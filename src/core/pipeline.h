@@ -80,6 +80,10 @@ class TwoStagePipeline {
   std::unique_ptr<p4::DataplaneEngine> make_engine(p4::EngineConfig config = {}) const;
   /// Install program rules into an existing switch (replaces entries).
   p4::TableWriteStatus install(p4::P4Switch& sw) const;
+  /// Install program rules into an existing engine: one control-plane write
+  /// publishing a fresh rule snapshot; worker replicas adopt it at their
+  /// next chunk boundary (hitless under streaming — see p4/engine.h).
+  p4::TableWriteStatus install(p4::DataplaneEngine& engine) const;
 
   /// Generated P4_16 source and runtime commands.
   std::string p4_source() const;

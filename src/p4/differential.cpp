@@ -90,12 +90,29 @@ DifferentialReport run_differential(const P4Program& program,
   const std::string engine_name =
       std::string("engine(") + match_backend_name(config.engine_backend) + ")";
 
-  // Switch variants + the engine + the sequential reference itself.
-  report.paths = paths.size() + 2;
+  // The same engine topology driven through the streaming ring-buffer ingest
+  // path: async verdict delivery on worker threads, gathered by sequence
+  // number (workers write disjoint slots of a preallocated vector).
+  EngineConfig stream_config = engine_config;
+  stream_config.ring_capacity = config.stream_ring_capacity;
+  stream_config.backpressure = BackpressurePolicy::kBlock;  // lossless
+  DataplaneEngine stream_engine(program, stream_config);
+  stream_engine.install_rules(rules);
+  stream_engine.set_malformed_policy(config.malformed_policy);
+  if (config.rate_guard) stream_engine.set_rate_guard(*config.rate_guard);
+  std::vector<Verdict> stream_verdicts(traffic.size());
+  stream_engine.start_stream(
+      [&stream_verdicts](std::uint64_t seq, const pkt::Packet&, const Verdict& v) {
+        stream_verdicts[seq] = v;
+      });
+  const std::string stream_name =
+      std::string("stream(") + match_backend_name(config.engine_backend) + ")";
+
+  // Switch variants + both engine paths + the sequential reference itself.
+  report.paths = paths.size() + 3;
 
   std::vector<Verdict> seq_verdicts;
   seq_verdicts.reserve(traffic.size());
-  for (const auto& packet : traffic) seq_verdicts.push_back(seq->process(packet));
 
   const std::size_t step =
       config.batch_size == 0 ? std::max<std::size_t>(traffic.size(), 1)
@@ -103,8 +120,38 @@ DifferentialReport run_differential(const P4Program& program,
   for (auto& path : paths) path.verdicts.reserve(traffic.size());
   std::vector<Verdict> engine_verdicts;
   engine_verdicts.reserve(traffic.size());
-  for (std::size_t at = 0; at < traffic.size(); at += step) {
+
+  // Pre-swap state captured at the swap boundary (when one is configured):
+  // the reference's per-entry credit plus every path's rule version, checked
+  // after the run through hits_for_version().
+  std::vector<std::uint64_t> pre_swap_hits;
+  std::uint64_t pre_swap_default_hits = 0;
+  std::uint64_t pre_ver_seq = 0, pre_ver_engine = 0, pre_ver_stream = 0;
+  std::vector<std::uint64_t> pre_ver_paths(paths.size(), 0);
+  bool swapped = false;
+
+  std::size_t chunk_index = 0;
+  for (std::size_t at = 0; at < traffic.size(); at += step, ++chunk_index) {
+    if (config.swap_at_chunk && chunk_index == *config.swap_at_chunk) {
+      // Live swap at a chunk boundary. The streaming engine's rings are
+      // empty (each chunk is flushed below) but its stream stays open: the
+      // workers adopt the published snapshot at their next chunk.
+      pre_ver_seq = seq->table().version();
+      pre_ver_engine = engine.rules_version();
+      pre_ver_stream = stream_engine.rules_version();
+      for (std::size_t p = 0; p < paths.size(); ++p)
+        pre_ver_paths[p] = paths[p].sw->table().version();
+      for (std::size_t e = 0; e < seq->table().entry_count(); ++e)
+        pre_swap_hits.push_back(seq->table().hit_count(e));
+      pre_swap_default_hits = seq->table().default_hits();
+      seq->install_rules(config.swap_rules);
+      for (auto& path : paths) path.sw->install_rules(config.swap_rules);
+      engine.install_rules(config.swap_rules);
+      stream_engine.install_rules(config.swap_rules);
+      swapped = true;
+    }
     const auto chunk = traffic.subspan(at, std::min(step, traffic.size() - at));
+    for (const auto& packet : chunk) seq_verdicts.push_back(seq->process(packet));
     for (auto& path : paths) {
       const auto batch = path.sw->process_batch(chunk);
       path.verdicts.insert(path.verdicts.end(), batch.begin(), batch.end());
@@ -112,7 +159,10 @@ DifferentialReport run_differential(const P4Program& program,
     const auto from_engine = engine.process_batch(chunk);
     engine_verdicts.insert(engine_verdicts.end(), from_engine.begin(),
                            from_engine.end());
+    stream_engine.stream_push(chunk);
+    stream_engine.stream_flush();
   }
+  stream_engine.stop_stream();
 
   for (std::size_t i = 0; i < traffic.size() && report.equivalent; ++i) {
     for (const auto& path : paths) {
@@ -129,6 +179,11 @@ DifferentialReport run_differential(const P4Program& program,
            "packet " + std::to_string(i) + ": sequential " +
                format_verdict(seq_verdicts[i]) + " vs " + engine_name + " " +
                format_verdict(engine_verdicts[i]));
+    if (report.equivalent && !same_verdict(seq_verdicts[i], stream_verdicts[i]))
+      fail(report, i,
+           "packet " + std::to_string(i) + ": sequential " +
+               format_verdict(seq_verdicts[i]) + " vs " + stream_name + " " +
+               format_verdict(stream_verdicts[i]));
   }
 
   const auto& ref = seq->stats();
@@ -139,6 +194,9 @@ DifferentialReport run_differential(const P4Program& program,
   if (!same_stats(ref, engine.stats()))
     fail(report, traffic.size(),
          "aggregate stats diverge: sequential vs " + engine_name);
+  if (!same_stats(ref, stream_engine.stats()))
+    fail(report, traffic.size(),
+         "aggregate stats diverge: sequential vs " + stream_name);
 
   for (std::size_t e = 0; e < seq->table().entry_count(); ++e) {
     const auto want = seq->table().hit_count(e);
@@ -151,6 +209,10 @@ DifferentialReport run_differential(const P4Program& program,
       fail(report, traffic.size(),
            "hit counter diverges on entry " + std::to_string(e) + ": " +
                engine_name);
+    if (stream_engine.hit_count(e) != want)
+      fail(report, traffic.size(),
+           "hit counter diverges on entry " + std::to_string(e) + ": " +
+               stream_name);
     if (!report.equivalent) break;
   }
   for (const auto& path : paths)
@@ -160,6 +222,33 @@ DifferentialReport run_differential(const P4Program& program,
   if (engine.default_hits() != seq->table().default_hits())
     fail(report, traffic.size(),
          "default-action hit counter diverges: " + engine_name);
+  if (stream_engine.default_hits() != seq->table().default_hits())
+    fail(report, traffic.size(),
+         "default-action hit counter diverges: " + stream_name);
+
+  // Across a live swap, credit recorded against the retired rule set must
+  // survive and agree on every path (hits_for_version reads the archived
+  // per-version shards; see MatchActionTable / rule_snapshot.h).
+  if (swapped) {
+    for (std::size_t e = 0; e < pre_swap_hits.size() && report.equivalent; ++e) {
+      const auto want = pre_swap_hits[e];
+      const auto tag = "pre-swap hit counter diverges on entry " +
+                       std::to_string(e) + ": ";
+      if (seq->table().hits_for_version(pre_ver_seq, e) != want)
+        fail(report, traffic.size(), tag + "sequential archive");
+      for (std::size_t p = 0; p < paths.size(); ++p)
+        if (paths[p].sw->table().hits_for_version(pre_ver_paths[p], e) != want)
+          fail(report, traffic.size(), tag + paths[p].name);
+      if (engine.hit_count_for_version(pre_ver_engine, e) != want)
+        fail(report, traffic.size(), tag + engine_name);
+      if (stream_engine.hit_count_for_version(pre_ver_stream, e) != want)
+        fail(report, traffic.size(), tag + stream_name);
+    }
+    if (seq->table().default_hits_for_version(pre_ver_seq) != pre_swap_default_hits ||
+        engine.default_hits_for_version(pre_ver_engine) != pre_swap_default_hits ||
+        stream_engine.default_hits_for_version(pre_ver_stream) != pre_swap_default_hits)
+      fail(report, traffic.size(), "pre-swap default-action credit diverges");
+  }
 
   report.permitted = ref.permitted;
   report.dropped = ref.dropped;

@@ -5,12 +5,19 @@
 // sequential P4Switch::process with the linear priority scan (the reference
 // model), the same switch on the compiled tuple-space match backend,
 // process_batch with the flow-verdict cache in front of the linear scan,
-// the cached batch path on the compiled backend (compiled + cache), and the
+// the cached batch path on the compiled backend (compiled + cache), the
 // N-worker DataplaneEngine with RSS sharding, per-worker caches and the
-// compiled backend. Each was proven equivalent when introduced; this harness
-// keeps proving it on *adversarial* traffic (fuzzed, truncated, spliced
-// frames) where a divergence would be a real security bug: a packet one path
-// drops and another forwards.
+// compiled backend, and the same engine driven through its streaming
+// ring-buffer ingest with async verdict delivery. Each was proven equivalent
+// when introduced; this harness keeps proving it on *adversarial* traffic
+// (fuzzed, truncated, spliced frames) where a divergence would be a real
+// security bug: a packet one path drops and another forwards.
+//
+// The harness can also apply a live rule swap at a chunk boundary while the
+// streaming path stays open (`swap_at_chunk`), proving the RCU-style
+// hitless-swap machinery verdict- and counter-equivalent: post-swap verdicts
+// match the sequential oracle, and credit recorded against the pre-swap
+// rules stays attributable via hit_count_for_version().
 //
 // The comparison is exact, not statistical: per-packet (action, entry_index,
 // attack_class, malformed) plus merged SwitchStats, per-entry hit counters
@@ -45,6 +52,15 @@ struct DifferentialConfig {
   bool include_compiled = true;
   /// Lookup backend for the engine path's worker replicas.
   MatchBackend engine_backend = MatchBackend::kCompiled;
+  /// Per-worker ingest ring slots for the streaming path (small by default
+  /// so the ring wraps and the lossless-blocking path is exercised).
+  std::size_t stream_ring_capacity = 256;
+  /// Optional live rule swap: before processing chunk index `*swap_at_chunk`
+  /// every path atomically replaces its rules with `swap_rules` — the
+  /// streaming engine without closing its stream. The harness then also
+  /// checks that every path archived identical pre-swap hit counters.
+  std::optional<std::size_t> swap_at_chunk;
+  std::vector<TableEntry> swap_rules;
 };
 
 struct DifferentialReport {
@@ -64,7 +80,7 @@ struct DifferentialReport {
   std::uint64_t malformed = 0;
 };
 
-/// Replay `traffic` through all three paths and compare. The same program,
+/// Replay `traffic` through every path and compare. The same program,
 /// rules, policy and (optional) rate guard are installed in each.
 DifferentialReport run_differential(const P4Program& program,
                                     const std::vector<TableEntry>& rules,

@@ -1,0 +1,33 @@
+#include "p4/rule_snapshot.h"
+
+#include <atomic>
+
+namespace p4iot::p4 {
+
+const char* malformed_policy_name(MalformedPolicy policy) noexcept {
+  switch (policy) {
+    case MalformedPolicy::kZeroPad: return "zero-pad";
+    case MalformedPolicy::kFailClosed: return "fail-closed";
+    case MalformedPolicy::kFailOpen: return "fail-open";
+  }
+  return "?";
+}
+
+std::uint64_t next_rule_version() noexcept {
+  // One counter for every table in the process: snapshots from different
+  // lineages can never collide on a version, so "same version" always means
+  // "same rule content" to the flow-verdict cache.
+  static std::atomic<std::uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+std::size_t RuleSnapshot::find(std::span<const std::uint64_t> values) const {
+  if (compiled && backend == MatchBackend::kCompiled)
+    return compiled->find(values, entries);
+  const std::vector<KeySpec>& key_specs = *keys;
+  for (std::size_t i = 0; i < entries.size(); ++i)
+    if (entry_matches(key_specs, entries[i], values)) return i;
+  return CompiledMatchEngine::knpos;
+}
+
+}  // namespace p4iot::p4

@@ -4,15 +4,6 @@ namespace p4iot::p4 {
 
 namespace telemetry = common::telemetry;
 
-const char* malformed_policy_name(MalformedPolicy policy) noexcept {
-  switch (policy) {
-    case MalformedPolicy::kZeroPad: return "zero-pad";
-    case MalformedPolicy::kFailClosed: return "fail-closed";
-    case MalformedPolicy::kFailOpen: return "fail-open";
-  }
-  return "?";
-}
-
 P4Switch::StageMetrics P4Switch::StageMetrics::acquire() {
   auto& reg = telemetry::Registry::global();
   return {
@@ -88,11 +79,12 @@ Verdict P4Switch::process(const pkt::Packet& packet) {
   if (stage_sampler_.should_sample()) return process_timed(packet);
 
   const bool malformed = packet.size() < min_frame_bytes_;
-  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
+  const MalformedPolicy policy = table_.malformed_policy();
+  if (malformed && policy != MalformedPolicy::kZeroPad) {
     // Fail-closed/fail-open short-circuit: the frame never reaches the
     // table, the flow cache or the rate guard, so a truncated header can
     // neither poison cached verdicts nor skew the guard's sketch.
-    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+    const auto action = policy == MalformedPolicy::kFailClosed
                             ? ActionOp::kDrop
                             : ActionOp::kPermit;
     return finish(packet, LookupResult{action, -1}, 0, true);
@@ -123,8 +115,9 @@ Verdict P4Switch::process_timed(const pkt::Packet& packet) {
   // identical (the differential tests cover both paths at shift 0).
   const std::uint64_t t0 = telemetry::now_ns();
   const bool malformed = packet.size() < min_frame_bytes_;
-  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
-    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+  const MalformedPolicy policy = table_.malformed_policy();
+  if (malformed && policy != MalformedPolicy::kZeroPad) {
+    const auto action = policy == MalformedPolicy::kFailClosed
                             ? ActionOp::kDrop
                             : ActionOp::kPermit;
     const auto verdict = finish(packet, LookupResult{action, -1}, 0, true);
@@ -178,8 +171,9 @@ void P4Switch::process_batch(std::span<const pkt::Packet> batch,
 
 Verdict P4Switch::peek(const pkt::Packet& packet) const {
   const bool malformed = packet.size() < min_frame_bytes_;
-  if (malformed && malformed_policy_ != MalformedPolicy::kZeroPad) {
-    const auto action = malformed_policy_ == MalformedPolicy::kFailClosed
+  const MalformedPolicy policy = table_.malformed_policy();
+  if (malformed && policy != MalformedPolicy::kZeroPad) {
+    const auto action = policy == MalformedPolicy::kFailClosed
                             ? ActionOp::kDrop
                             : ActionOp::kPermit;
     return {action, -1, 0, true};

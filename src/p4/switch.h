@@ -29,17 +29,9 @@
 
 namespace p4iot::p4 {
 
-/// How the pipeline treats frames too short to contain every parser field
-/// (the parser would otherwise fabricate zero bytes for the missing tail).
-/// Whatever the policy, the verdict is *defined* — adversarial truncation
-/// can never push the switch into unspecified behaviour.
-enum class MalformedPolicy : std::uint8_t {
-  kZeroPad = 0,     ///< legacy: extract zero-padded values, match normally
-  kFailClosed = 1,  ///< drop without consulting the table or the rate guard
-  kFailOpen = 2,    ///< permit without consulting the table or the rate guard
-};
-
-const char* malformed_policy_name(MalformedPolicy policy) noexcept;
+// MalformedPolicy and malformed_policy_name live in p4/rule_snapshot.h now
+// (the policy is part of the immutable rule snapshot, so it swaps atomically
+// with the rules); this header re-exports them through its includes.
 
 struct SwitchStats {
   std::uint64_t packets = 0;
@@ -84,8 +76,19 @@ class P4Switch {
   TableWriteStatus install_rules(std::vector<TableEntry> entries) {
     return table_.replace_entries(std::move(entries));
   }
-  void set_default_action(ActionOp action) noexcept { table_.set_default_action(action); }
+  void set_default_action(ActionOp action) { table_.set_default_action(action); }
   void clear_rules() { table_.clear(); }
+
+  /// Install a rule snapshot built elsewhere (the engine's control plane or
+  /// a controller candidate switch) without rebuilding it: entries, compiled
+  /// index, default action, backend and malformed policy all swap in one
+  /// pointer publication, and this switch's hit-counter shard is carried or
+  /// retired per the snapshot's provenance (see MatchActionTable). The flow
+  /// cache notices the version change on the next packet and invalidates —
+  /// this is the hitless-swap entry point.
+  void adopt_rules(std::shared_ptr<const RuleSnapshot> snap) {
+    table_.adopt_snapshot(std::move(snap));
+  }
 
   /// Lookup implementation for cache-miss/uncached packets: the linear
   /// priority scan (default — the faithful reference model) or the
@@ -113,10 +116,13 @@ class P4Switch {
   /// Malformed-frame policy (default kZeroPad, the historical behaviour).
   /// Under kFailClosed/kFailOpen malformed frames bypass the table, the
   /// flow cache and the rate guard and take the policy's fixed verdict.
-  void set_malformed_policy(MalformedPolicy policy) noexcept {
-    malformed_policy_ = policy;
+  /// Stored in the rule snapshot, so it travels with rule swaps.
+  void set_malformed_policy(MalformedPolicy policy) {
+    table_.set_malformed_policy(policy);
   }
-  MalformedPolicy malformed_policy() const noexcept { return malformed_policy_; }
+  MalformedPolicy malformed_policy() const noexcept {
+    return table_.malformed_policy();
+  }
   /// Frames shorter than this are malformed (parser field extent).
   std::size_t min_frame_bytes() const noexcept { return min_frame_bytes_; }
 
@@ -171,7 +177,6 @@ class P4Switch {
 
   P4Program program_;
   MatchActionTable table_;
-  MalformedPolicy malformed_policy_ = MalformedPolicy::kZeroPad;
   std::size_t min_frame_bytes_ = 0;
   SwitchStats stats_;
   MirrorHandler mirror_;

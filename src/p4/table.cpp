@@ -24,10 +24,42 @@ bool is_prefix_mask(std::uint64_t mask, std::size_t bits) noexcept {
 }
 }  // namespace
 
+MatchActionTable::MatchActionTable(std::string name, std::vector<KeySpec> keys,
+                                   std::size_t capacity, ActionOp default_action)
+    : name_(std::move(name)), capacity_(capacity) {
+  auto root = std::make_shared<RuleSnapshot>();
+  root->version = next_rule_version();
+  root->parent_version = root->version;
+  root->keys = std::make_shared<const std::vector<KeySpec>>(std::move(keys));
+  root->default_action = default_action;
+  snap_ = std::move(root);
+}
+
+MatchActionTable::MatchActionTable(MatchActionTable&& other) noexcept
+    : name_(std::move(other.name_)),
+      capacity_(other.capacity_),
+      snap_(std::move(other.snap_)),
+      hits_(std::move(other.hits_)),
+      default_hits_(other.default_hits_),
+      retired_(std::move(other.retired_)) {}
+
+MatchActionTable& MatchActionTable::operator=(MatchActionTable&& other) noexcept {
+  if (this != &other) {
+    name_ = std::move(other.name_);
+    capacity_ = other.capacity_;
+    snap_ = std::move(other.snap_);
+    hits_ = std::move(other.hits_);
+    default_hits_ = other.default_hits_;
+    retired_ = std::move(other.retired_);
+  }
+  return *this;
+}
+
 TableWriteStatus MatchActionTable::validate(const TableEntry& entry) const {
-  if (entry.fields.size() != keys_.size()) return TableWriteStatus::kKeyMismatch;
-  for (std::size_t i = 0; i < keys_.size(); ++i) {
-    const auto& key = keys_[i];
+  const auto& keys = *snap_->keys;
+  if (entry.fields.size() != keys.size()) return TableWriteStatus::kKeyMismatch;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const auto& key = keys[i];
     const auto& f = entry.fields[i];
     const std::uint64_t full = field_width_mask(key.field.width);
     switch (key.kind) {
@@ -51,38 +83,114 @@ TableWriteStatus MatchActionTable::validate(const TableEntry& entry) const {
   return TableWriteStatus::kOk;
 }
 
+std::shared_ptr<RuleSnapshot> MatchActionTable::derive() const {
+  auto next = std::make_shared<RuleSnapshot>();
+  next->version = next_rule_version();
+  next->parent_version = snap_->version;
+  next->keys = snap_->keys;
+  next->entries = snap_->entries;
+  next->default_action = snap_->default_action;
+  next->malformed_policy = snap_->malformed_policy;
+  next->backend = snap_->backend;
+  return next;
+}
+
+void MatchActionTable::carry_compiled(RuleSnapshot& next,
+                                      std::optional<std::size_t> inserted,
+                                      std::optional<std::size_t> erased) const {
+  if (next.backend != MatchBackend::kCompiled) return;
+  if (snap_->compiled && (inserted || erased)) {
+    // Incremental: copy the parent's index and apply the single-entry delta
+    // (the published parent index is immutable, so the update lands on a
+    // private copy).
+    auto compiled = std::make_shared<CompiledMatchEngine>(*snap_->compiled);
+    if (erased) compiled->on_erase(snap_->entries, *erased, next.version);
+    if (inserted) compiled->on_insert(next.entries, *inserted, next.version);
+    next.compiled = std::move(compiled);
+    return;
+  }
+  auto compiled = std::make_shared<CompiledMatchEngine>(*next.keys);
+  compiled->rebuild(next.entries, next.version);
+  next.compiled = std::move(compiled);
+}
+
+void MatchActionTable::archive_current_shard() {
+  bool any = default_hits_ != 0;
+  for (const auto h : hits_) any = any || h != 0;
+  if (!any) return;
+  if (retired_.size() >= kMaxRetiredShards) retired_.erase(retired_.begin());
+  retired_.push_back({snap_->version, hits_, default_hits_});
+}
+
+void MatchActionTable::publish(std::shared_ptr<const RuleSnapshot> next) {
+  // Re-shape the local counter shard to the incoming entry set before the
+  // pointer goes live, so counters and entries always agree.
+  if (next->version != snap_->version) {
+    if (next->parent_version == snap_->version && !next->reset_counters) {
+      if (!next->parent_map.empty()) {
+        std::vector<std::uint64_t> carried(next->entries.size(), 0);
+        for (std::size_t i = 0; i < next->parent_map.size(); ++i) {
+          const auto parent = next->parent_map[i];
+          if (parent >= 0 && static_cast<std::size_t>(parent) < hits_.size())
+            carried[i] = hits_[static_cast<std::size_t>(parent)];
+        }
+        hits_ = std::move(carried);
+      }
+      // Empty parent_map = identity (e.g. default-action change): keep.
+    } else {
+      // Bulk replace / clear, or a snapshot that skipped versions (a stream
+      // reader adopting the latest of several control writes): credit for
+      // the outgoing rules is retired, counting restarts at zero.
+      archive_current_shard();
+      hits_.assign(next->entries.size(), 0);
+      default_hits_ = 0;
+    }
+  }
+  std::lock_guard lock(snap_mutex_);
+  snap_ = std::move(next);
+}
+
 TableWriteStatus MatchActionTable::add_entry(TableEntry entry) {
-  if (entries_.size() >= capacity_) return TableWriteStatus::kTableFull;
+  if (snap_->entries.size() >= capacity_) return TableWriteStatus::kTableFull;
   const auto status = validate(entry);
   if (status != TableWriteStatus::kOk) return status;
 
+  auto next = derive();
   // Insert keeping priority order (desc); stable for equal priorities.
   const auto pos = std::upper_bound(
-      entries_.begin(), entries_.end(), entry,
+      next->entries.begin(), next->entries.end(), entry,
       [](const TableEntry& a, const TableEntry& b) { return a.priority > b.priority; });
-  const auto idx = static_cast<std::size_t>(pos - entries_.begin());
-  entries_.insert(pos, std::move(entry));
-  hits_.insert(hits_.begin() + static_cast<std::ptrdiff_t>(idx), 0);
-  ++version_;
-  if (compiled_) compiled_->on_insert(entries_, idx, version_);
+  const auto idx = static_cast<std::size_t>(pos - next->entries.begin());
+  next->entries.insert(pos, std::move(entry));
+  next->parent_map.resize(next->entries.size());
+  for (std::size_t i = 0; i < next->entries.size(); ++i) {
+    next->parent_map[i] = i == idx ? -1
+                          : i < idx ? static_cast<std::int32_t>(i)
+                                    : static_cast<std::int32_t>(i - 1);
+  }
+  carry_compiled(*next, idx, std::nullopt);
+  publish(std::move(next));
   return TableWriteStatus::kOk;
 }
 
 bool MatchActionTable::remove_entry(std::size_t index) {
-  if (index >= entries_.size()) return false;
-  ++version_;
-  if (compiled_) compiled_->on_erase(entries_, index, version_);
-  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(index));
-  hits_.erase(hits_.begin() + static_cast<std::ptrdiff_t>(index));
+  if (index >= snap_->entries.size()) return false;
+  auto next = derive();
+  next->entries.erase(next->entries.begin() + static_cast<std::ptrdiff_t>(index));
+  next->parent_map.resize(next->entries.size());
+  for (std::size_t i = 0; i < next->entries.size(); ++i)
+    next->parent_map[i] = static_cast<std::int32_t>(i < index ? i : i + 1);
+  carry_compiled(*next, std::nullopt, index);
+  publish(std::move(next));
   return true;
 }
 
 void MatchActionTable::clear() {
-  entries_.clear();
-  hits_.clear();
-  default_hits_ = 0;
-  ++version_;
-  if (compiled_) compiled_->rebuild(entries_, version_);
+  auto next = derive();
+  next->entries.clear();
+  next->reset_counters = true;
+  carry_compiled(*next, std::nullopt, std::nullopt);
+  publish(std::move(next));
 }
 
 TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entries) {
@@ -95,53 +203,70 @@ TableWriteStatus MatchActionTable::replace_entries(std::vector<TableEntry> entri
                    [](const TableEntry& a, const TableEntry& b) {
                      return a.priority > b.priority;
                    });
-  entries_ = std::move(entries);
-  hits_.assign(entries_.size(), 0);
-  default_hits_ = 0;
-  ++version_;
-  if (compiled_) compiled_->rebuild(entries_, version_);
+  auto next = derive();
+  next->entries = std::move(entries);
+  next->reset_counters = true;
+  carry_compiled(*next, std::nullopt, std::nullopt);
+  publish(std::move(next));
   return TableWriteStatus::kOk;
 }
 
 void MatchActionTable::set_match_backend(MatchBackend backend) {
-  if (backend == backend_) return;
-  backend_ = backend;
-  if (backend_ == MatchBackend::kCompiled) {
-    if (!compiled_) compiled_ = std::make_unique<CompiledMatchEngine>(keys_);
-    compiled_->rebuild(entries_, version_);
-  } else {
-    compiled_.reset();
+  if (backend == snap_->backend) return;
+  // Verdict-preserving: same version, same entries, different lookup cost.
+  auto next = std::make_shared<RuleSnapshot>(*snap_);
+  next->backend = backend;
+  next->compiled.reset();
+  if (backend == MatchBackend::kCompiled) {
+    auto compiled = std::make_shared<CompiledMatchEngine>(*next->keys);
+    compiled->rebuild(next->entries, next->version);
+    next->compiled = std::move(compiled);
   }
+  publish(std::move(next));
 }
 
-bool MatchActionTable::matches(const TableEntry& entry,
-                               std::span<const std::uint64_t> values) const {
-  return entry_matches(keys_, entry, values);
+void MatchActionTable::set_malformed_policy(MalformedPolicy policy) {
+  if (policy == snap_->malformed_policy) return;
+  // Verdict-preserving for every frame that reaches the table (the policy
+  // only redirects frames that bypass it), so the version stays.
+  auto next = std::make_shared<RuleSnapshot>(*snap_);
+  next->malformed_policy = policy;
+  publish(std::move(next));
 }
 
-std::size_t MatchActionTable::find_match(
-    std::span<const std::uint64_t> values) const {
-  if (compiled_ && backend_ == MatchBackend::kCompiled)
-    return compiled_->find(values, entries_);
-  for (std::size_t i = 0; i < entries_.size(); ++i)
-    if (matches(entries_[i], values)) return i;
-  return CompiledMatchEngine::knpos;
+void MatchActionTable::set_default_action(ActionOp action) {
+  if (action == snap_->default_action) return;
+  auto next = derive();
+  next->default_action = action;
+  publish(std::move(next));
+}
+
+std::shared_ptr<const RuleSnapshot> MatchActionTable::snapshot() const {
+  std::lock_guard lock(snap_mutex_);
+  return snap_;
+}
+
+void MatchActionTable::adopt_snapshot(std::shared_ptr<const RuleSnapshot> snap) {
+  if (!snap || snap == snap_) return;
+  publish(std::move(snap));
 }
 
 LookupResult MatchActionTable::lookup(std::span<const std::uint64_t> values) {
-  const auto i = find_match(values);
+  const RuleSnapshot& snap = *snap_;
+  const auto i = snap.find(values);
   if (i == CompiledMatchEngine::knpos) {
     ++default_hits_;
-    return {default_action_, -1};
+    return {snap.default_action, -1};
   }
   ++hits_[i];
-  return {entries_[i].action, static_cast<std::int64_t>(i)};
+  return {snap.entries[i].action, static_cast<std::int64_t>(i)};
 }
 
 LookupResult MatchActionTable::peek(std::span<const std::uint64_t> values) const {
-  const auto i = find_match(values);
-  if (i == CompiledMatchEngine::knpos) return {default_action_, -1};
-  return {entries_[i].action, static_cast<std::int64_t>(i)};
+  const RuleSnapshot& snap = *snap_;
+  const auto i = snap.find(values);
+  if (i == CompiledMatchEngine::knpos) return {snap.default_action, -1};
+  return {snap.entries[i].action, static_cast<std::int64_t>(i)};
 }
 
 void MatchActionTable::record_hit(std::int64_t entry_index) noexcept {
@@ -156,14 +281,31 @@ std::uint64_t MatchActionTable::hit_count(std::size_t entry_index) const {
   return entry_index < hits_.size() ? hits_[entry_index] : 0;
 }
 
+std::uint64_t MatchActionTable::hits_for_version(std::uint64_t version,
+                                                 std::size_t entry_index) const {
+  if (version == snap_->version) return hit_count(entry_index);
+  for (const auto& shard : retired_)
+    if (shard.version == version)
+      return entry_index < shard.hits.size() ? shard.hits[entry_index] : 0;
+  return 0;
+}
+
+std::uint64_t MatchActionTable::default_hits_for_version(std::uint64_t version) const {
+  if (version == snap_->version) return default_hits_;
+  for (const auto& shard : retired_)
+    if (shard.version == version) return shard.default_hits;
+  return 0;
+}
+
 void MatchActionTable::reset_counters() {
   std::fill(hits_.begin(), hits_.end(), 0);
   default_hits_ = 0;
+  retired_.clear();
 }
 
 std::size_t MatchActionTable::key_bits() const noexcept {
   std::size_t bits = 0;
-  for (const auto& k : keys_) bits += k.field.bit_width();
+  for (const auto& k : *snap_->keys) bits += k.field.bit_width();
   return bits;
 }
 

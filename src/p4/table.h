@@ -4,16 +4,35 @@
 // matching entry's action. The TCAM model accounts entries against a
 // capacity budget and reports total key width, the figures of merit for the
 // paper's "efficiency" axis.
+//
+// Rule-state ownership (see p4/rule_snapshot.h): the table's match semantics
+// — entries, compiled index, default action, backend, malformed policy —
+// live in an immutable RuleSnapshot behind a shared_ptr. Mutators build the
+// next snapshot copy-on-write and publish the pointer; snapshot() hands the
+// current pointer to other threads, and adopt_snapshot() installs a snapshot
+// built elsewhere (the engine's control table, a controller candidate)
+// without rebuilding it. Per-entry hit counters are the table's own mutable
+// shard, carried across adoptions via the snapshot's parent map so credit
+// recorded against the old rules survives a live swap; counters for retired
+// rule sets stay queryable through hits_for_version().
+//
+// Threading contract: mutators and counter updates (lookup/record_hit) are
+// single-writer, owner-thread only — exactly as before. snapshot() and
+// adopt_snapshot() synchronize on an internal mutex and are safe against
+// each other from any thread; concurrent readers of a snapshot never race
+// because snapshots are immutable.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "p4/ir.h"
 #include "p4/match_engine.h"
+#include "p4/rule_snapshot.h"
 
 namespace p4iot::p4 {
 
@@ -35,13 +54,14 @@ struct LookupResult {
 
 class MatchActionTable {
  public:
-  MatchActionTable() = default;
+  MatchActionTable() : MatchActionTable("table", {}, 1024) {}
   MatchActionTable(std::string name, std::vector<KeySpec> keys, std::size_t capacity,
-                   ActionOp default_action = ActionOp::kPermit)
-      : name_(std::move(name)),
-        keys_(std::move(keys)),
-        capacity_(capacity),
-        default_action_(default_action) {}
+                   ActionOp default_action = ActionOp::kPermit);
+
+  // Movable (the controller retires whole switches); the internal mutex is
+  // not moved — moves require both tables to be externally quiesced.
+  MatchActionTable(MatchActionTable&& other) noexcept;
+  MatchActionTable& operator=(MatchActionTable&& other) noexcept;
 
   TableWriteStatus add_entry(TableEntry entry);
   bool remove_entry(std::size_t index);
@@ -58,10 +78,12 @@ class MatchActionTable {
   /// identical to what a full priority scan would have recorded.
   void record_hit(std::int64_t entry_index) noexcept;
 
-  /// Monotonic counter bumped by every successful mutation of the match
-  /// semantics (add/remove/replace/clear/default action). Caches key their
-  /// contents to a version and drop them when it moves.
-  std::uint64_t version() const noexcept { return version_; }
+  /// Version of the installed rule set: moves on every successful mutation
+  /// of the match semantics (add/remove/replace/clear/default action).
+  /// Caches key their contents to a version and drop them when it moves.
+  /// Values come from a process-wide monotonic counter, so they also move
+  /// when adopt_snapshot() installs a foreign rule set.
+  std::uint64_t version() const noexcept { return snap_->version; }
 
   /// Select the lookup implementation: the priority-ordered linear scan
   /// (reference oracle) or the tuple-space compiled index. Switching never
@@ -69,52 +91,90 @@ class MatchActionTable {
   /// does not move. The compiled index tracks table writes incrementally
   /// via the same epoch mechanism that invalidates the flow-verdict cache.
   void set_match_backend(MatchBackend backend);
-  MatchBackend match_backend() const noexcept { return backend_; }
+  MatchBackend match_backend() const noexcept { return snap_->backend; }
   /// Compiled index introspection; nullptr while the backend is linear.
   const CompiledMatchEngine* compiled_index() const noexcept {
-    return backend_ == MatchBackend::kCompiled ? compiled_.get() : nullptr;
+    return snap_->backend == MatchBackend::kCompiled ? snap_->compiled.get()
+                                                     : nullptr;
   }
+
+  /// Malformed-frame policy carried with the rule set (the owning switch
+  /// reads it per packet; it swaps atomically with the rules). No version
+  /// bump: the policy only affects frames that bypass the table entirely.
+  void set_malformed_policy(MalformedPolicy policy);
+  MalformedPolicy malformed_policy() const noexcept {
+    return snap_->malformed_policy;
+  }
+
+  /// Current snapshot pointer — safe to call from any thread and to keep
+  /// across later mutations (the snapshot is immutable; mutators publish
+  /// fresh ones). This is the reader half of the RCU protocol.
+  std::shared_ptr<const RuleSnapshot> snapshot() const;
+  /// Install a snapshot built elsewhere (writer half of a live swap). The
+  /// local hit-counter shard is carried through the snapshot's parent map
+  /// when it derives from the currently installed version; otherwise the
+  /// shard is archived under the outgoing version (see hits_for_version)
+  /// and counting restarts — matching replace_entries() semantics.
+  void adopt_snapshot(std::shared_ptr<const RuleSnapshot> snap);
 
   const std::string& name() const noexcept { return name_; }
-  const std::vector<KeySpec>& keys() const noexcept { return keys_; }
-  std::size_t entry_count() const noexcept { return entries_.size(); }
+  const std::vector<KeySpec>& keys() const noexcept { return *snap_->keys; }
+  std::size_t entry_count() const noexcept { return snap_->entries.size(); }
   std::size_t capacity() const noexcept { return capacity_; }
-  ActionOp default_action() const noexcept { return default_action_; }
-  void set_default_action(ActionOp action) noexcept {
-    if (action != default_action_) {
-      default_action_ = action;
-      ++version_;
-    }
-  }
+  ActionOp default_action() const noexcept { return snap_->default_action; }
+  void set_default_action(ActionOp action);
 
-  const std::vector<TableEntry>& entries() const noexcept { return entries_; }
+  const std::vector<TableEntry>& entries() const noexcept { return snap_->entries; }
   std::uint64_t hit_count(std::size_t entry_index) const;
   std::uint64_t default_hits() const noexcept { return default_hits_; }
+  /// Per-entry hits recorded against a specific snapshot version: the live
+  /// shard when `version` is current, else the archived shard retired by an
+  /// adoption/replace (zero when unknown or aged out). This is how counter
+  /// credit stays attributable across a hitless rule swap.
+  std::uint64_t hits_for_version(std::uint64_t version, std::size_t entry_index) const;
+  std::uint64_t default_hits_for_version(std::uint64_t version) const;
   void reset_counters();
 
   /// Key width in bits (TCAM slice width).
   std::size_t key_bits() const noexcept;
   /// TCAM bit cost: entries × 2 × key width (value + mask planes).
-  std::size_t tcam_bits() const noexcept { return entries_.size() * 2 * key_bits(); }
+  std::size_t tcam_bits() const noexcept {
+    return snap_->entries.size() * 2 * key_bits();
+  }
 
  private:
-  bool matches(const TableEntry& entry, std::span<const std::uint64_t> values) const;
+  /// Archived counter shards for the most recently retired rule versions.
+  struct RetiredShard {
+    std::uint64_t version = 0;
+    std::vector<std::uint64_t> hits;
+    std::uint64_t default_hits = 0;
+  };
+  static constexpr std::size_t kMaxRetiredShards = 4;
+
   TableWriteStatus validate(const TableEntry& entry) const;
-  /// Winning entry index for `values` under the active backend, or
-  /// CompiledMatchEngine::knpos for the default action (counter-free core
-  /// shared by lookup and peek).
-  std::size_t find_match(std::span<const std::uint64_t> values) const;
+  /// Fresh snapshot pre-seeded from the current one (shared keys, copied
+  /// entries, carried action/policy/backend, version already advanced).
+  std::shared_ptr<RuleSnapshot> derive() const;
+  /// Rebuild/copy the compiled index into `next` if the backend needs one.
+  /// `inserted`/`erased` select the incremental update applied.
+  void carry_compiled(RuleSnapshot& next, std::optional<std::size_t> inserted,
+                      std::optional<std::size_t> erased) const;
+  /// Re-shape the local counter shard for `next` (carry / archive+reset),
+  /// then publish the pointer under the snapshot mutex.
+  void publish(std::shared_ptr<const RuleSnapshot> next);
+  void archive_current_shard();
 
   std::string name_ = "table";
-  std::vector<KeySpec> keys_;
   std::size_t capacity_ = 1024;
-  ActionOp default_action_ = ActionOp::kPermit;
-  std::vector<TableEntry> entries_;       ///< kept sorted by priority desc
-  std::vector<std::uint64_t> hits_;       ///< parallel to entries_
+  /// Current snapshot. Owner-thread reads skip the mutex (the owner is the
+  /// only publisher); cross-thread access goes through snapshot()/
+  /// adopt_snapshot(), which lock snap_mutex_.
+  std::shared_ptr<const RuleSnapshot> snap_;
+  mutable std::mutex snap_mutex_;
+
+  std::vector<std::uint64_t> hits_;  ///< parallel to snap_->entries
   std::uint64_t default_hits_ = 0;
-  std::uint64_t version_ = 0;             ///< see version()
-  MatchBackend backend_ = MatchBackend::kLinear;
-  std::unique_ptr<CompiledMatchEngine> compiled_;  ///< live when compiled
+  std::vector<RetiredShard> retired_;  ///< oldest first, capped
 };
 
 }  // namespace p4iot::p4

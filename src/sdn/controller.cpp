@@ -96,7 +96,19 @@ p4::TableWriteStatus Controller::swap_rules(double now_s, double miss_rate,
                                                : status;
   }
 
-  switch_ = std::move(candidate);  // retire-old (per-epoch stats reset)
+  // Retire-old. When the candidate parses the same fields as the serving
+  // switch (the common retrain case: same feature schema, new rules), the
+  // serving switch adopts the candidate's rule snapshot in place — entries,
+  // compiled index, default action and malformed policy swap through one
+  // pointer publication, hitless for concurrent readers of the dataplane.
+  // A schema change (different parser fields) still moves the whole switch.
+  // Either way the data-plane epoch restarts: per-epoch stats reset.
+  if (switch_.program().parser.fields == candidate.program().parser.fields) {
+    switch_.adopt_rules(candidate.table().snapshot());
+    switch_.reset_stats();
+  } else {
+    switch_ = std::move(candidate);
+  }
   degraded_ = false;
   telemetry::Registry::global().set_gauge("p4iot_controller_degraded", 0.0);
   events_.push_back(event);

@@ -12,9 +12,19 @@
 // Robustness (see DESIGN.md §7): rule swaps are transactional — the new
 // program is built and installed into a candidate switch, verified, and
 // only then retires the serving switch; any failure rolls back and the old
-// table keeps serving. Oracle silence and southbound install failures
-// (optionally injected via FaultSpec for testing) are tracked in
-// ControllerStats, including an explicit degraded-mode counter.
+// table keeps serving. When the candidate parses the same fields as the
+// serving switch, retirement is hitless: the serving switch adopts the
+// candidate's immutable rule snapshot in place (one pointer publication,
+// see p4/rule_snapshot.h) instead of being replaced wholesale, so the
+// dataplane never observes a half-installed rule set. Oracle silence and
+// southbound install failures (optionally injected via FaultSpec for
+// testing) are tracked in ControllerStats, including an explicit
+// degraded-mode counter.
+//
+// Threading: the controller is single-threaded — handle() and the swap
+// path run on one thread. The hitless property matters for the engine
+// integration (core/pipeline.h install(DataplaneEngine&)), where workers
+// keep draining while a swap publishes.
 #pragma once
 
 #include <deque>

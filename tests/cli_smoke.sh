@@ -34,7 +34,24 @@ grep -q "controller.swap" "$DIR/spans.json"
 "$P4IOTC" stats --trace "$DIR/cap.trc" --workers 2 --match-backend=linear \
   > "$DIR/stats_linear.out"
 grep -q "match backend: linear" "$DIR/stats_linear.out"
+# Streaming replay: batched and ring-buffer modes, both asserted on output.
+"$P4IOTC" replay --trace "$DIR/cap.trc" --workers 2 > "$DIR/replay_batch.out"
+status=$?
+test "$status" -eq 0
+grep -q "replay: batched" "$DIR/replay_batch.out"
+grep -q "verdicts:" "$DIR/replay_batch.out"
+"$P4IOTC" replay --trace "$DIR/cap.trc" --workers 2 --stream \
+  --ring-size 64 --backpressure block > "$DIR/replay_stream.out"
+status=$?
+test "$status" -eq 0
+grep -q "replay: streamed .* (ring 64, backpressure block)" "$DIR/replay_stream.out"
+grep -q "dropped" "$DIR/replay_stream.out"
+# Lossless blocking backpressure must deliver every accepted frame.
+grep -q ", 0 dropped" "$DIR/replay_stream.out"
 # Error paths exit non-zero.
+if "$P4IOTC" replay --trace "$DIR/cap.trc" --backpressure bogus 2>/dev/null; then
+  echo "expected failure on bogus backpressure policy" >&2; exit 1
+fi
 if "$P4IOTC" eval --model /nonexistent --trace "$DIR/cap.trc" 2>/dev/null; then
   echo "expected failure on missing model" >&2; exit 1
 fi

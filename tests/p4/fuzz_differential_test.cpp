@@ -3,10 +3,11 @@
 // the cached batch path and the multi-worker engine. The assertions are the
 // strongest the model can make: no crash, no OOB read (enforced by the
 // sanitizer CI jobs running this same binary), a defined verdict under every
-// MalformedPolicy, and bit-identical behaviour across all five execution
+// MalformedPolicy, and bit-identical behaviour across all six execution
 // paths (sequential linear reference, cached batch, compiled, compiled +
-// cache, multi-worker engine on the compiled backend) — including while a
-// controller thread swaps rules between batches.
+// cache, multi-worker engine on the compiled backend, and the streaming
+// ring-buffer ingest of the same engine) — including while a controller
+// thread swaps rules between batches and across a hitless mid-stream swap.
 //
 // P4IOT_FUZZ_ITERATIONS (a compile definition, raised by -DP4IOT_LONG_FUZZ)
 // sets the mutated-frame count per radio.
@@ -160,8 +161,9 @@ TEST_P(FuzzDifferential, AllPathsAgreeOnFuzzedCorpus) {
                                          radio_rules(GetParam()), traffic, config);
     EXPECT_TRUE(report.equivalent)
         << malformed_policy_name(policy) << ": " << report.detail;
-    // Reference + cached-batch + compiled + compiled+cache + engine.
-    EXPECT_EQ(report.paths, 5u);
+    // Reference + cached-batch + compiled + compiled+cache + engine
+    // + streaming engine.
+    EXPECT_EQ(report.paths, 6u);
     EXPECT_EQ(report.packets, traffic.size());
     EXPECT_EQ(report.permitted + report.dropped + report.mirrored, traffic.size());
   }
@@ -292,6 +294,31 @@ TEST(FuzzDifferentialChurn, MidBatchTableWriteInvalidatesImmediately) {
     EXPECT_EQ(got[i].entry_index, expected[i].entry_index) << "packet " << i;
   }
   EXPECT_GE(cached.flow_cache()->stats().invalidations, 1u);
+}
+
+// Live rule swap at a chunk boundary while the streaming path's stream
+// stays open: verdicts must track the sequential oracle on both sides of
+// the swap, and credit recorded against the pre-swap rules must survive in
+// every path's archived counter shard (hits_for_version).
+TEST(FuzzDifferentialChurn, MidStreamSwapStaysEquivalentAndKeepsCredit) {
+  const auto traffic =
+      gen::build_fuzz_corpus(LinkType::kEthernet, 6000, kCorpusSeed + 3);
+  const auto program = radio_program(LinkType::kEthernet);
+  const auto rules_a = radio_rules(LinkType::kEthernet);
+  auto rules_b = rules_a;
+  rules_b[0].action = ActionOp::kPermit;
+  rules_b[3].action = ActionOp::kDrop;
+  rules_b[3].attack_class = 6;
+
+  DifferentialConfig config;
+  config.batch_size = 512;
+  config.stream_ring_capacity = 64;  // much smaller than a chunk: must wrap
+  config.swap_at_chunk = 6;
+  config.swap_rules = rules_b;
+  const auto report = run_differential(program, rules_a, traffic, config);
+  EXPECT_TRUE(report.equivalent) << report.detail;
+  EXPECT_EQ(report.paths, 6u);
+  EXPECT_EQ(report.packets, traffic.size());
 }
 
 // The report machinery itself must catch a real divergence, or a green

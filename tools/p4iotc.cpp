@@ -7,6 +7,8 @@
 //   p4iotc convert  --trace cap.trc --pcap-prefix cap
 //   p4iotc stats    --trace cap.trc [--workers 4] [--batch 2048]
 //                   [--match-backend linear|compiled]
+//   p4iotc replay   --trace cap.trc [--workers 4] [--batch 2048] [--stream]
+//                   [--ring-size 1024] [--backpressure block|drop]
 //
 // Any command accepts --metrics-out FILE (Prometheus text snapshot of the
 // telemetry registry) and --trace-out FILE (chrome://tracing span JSON),
@@ -52,6 +54,8 @@ class Args {
       const auto eq = token.find('=');
       if (eq != std::string::npos) {
         values_[token.substr(0, eq)] = token.substr(eq + 1);
+      } else if (token == "stream") {
+        values_[token] = "1";  // boolean flag: takes no value
       } else if (i + 1 < argc) {
         values_[token] = argv[++i];
       } else {
@@ -91,6 +95,9 @@ int usage() {
                "  inspect  --model MODEL.bin\n"
                "  convert  --trace FILE.trc --pcap-prefix PREFIX\n"
                "  stats    --trace FILE.trc [--fields K] [--workers N] [--batch N]\n"
+               "           [--match-backend linear|compiled]\n"
+               "  replay   --trace FILE.trc [--fields K] [--workers N] [--batch N]\n"
+               "           [--stream] [--ring-size N] [--backpressure block|drop]\n"
                "           [--match-backend linear|compiled]\n"
                "any command also accepts:\n"
                "  --metrics-out FILE   Prometheus snapshot of runtime telemetry\n"
@@ -358,6 +365,106 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+
+/// `replay`: train on the trace, then drive the multi-worker engine over it
+/// either batched (default: process_batch per --batch frames) or through the
+/// streaming ring-buffer ingest (--stream): frames are pushed continuously,
+/// verdicts are delivered asynchronously on worker threads, and
+/// --backpressure picks what a full ring does — `block` is lossless,
+/// `drop` sheds frames and counts them per worker ring.
+int cmd_replay(const Args& args) {
+  const auto trace_path = args.get("trace");
+  if (!trace_path) return usage();
+  const auto trace = pkt::read_trace(*trace_path);
+  if (!trace) {
+    std::fprintf(stderr, "cannot read trace %s\n", trace_path->c_str());
+    return 2;
+  }
+
+  namespace telemetry = common::telemetry;
+  const auto k = static_cast<std::size_t>(args.number_or("fields", 4));
+  const auto workers = static_cast<std::size_t>(args.number_or("workers", 4));
+  const auto batch_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.number_or("batch", 2048)));
+  const bool stream = args.get("stream").has_value();
+  const auto ring_size =
+      std::max<std::size_t>(1, static_cast<std::size_t>(args.number_or("ring-size", 1024)));
+  const auto policy_name = args.get_or("backpressure", "block");
+  const auto policy = p4::parse_backpressure_policy(policy_name);
+  if (!policy) {
+    std::fprintf(stderr, "unknown backpressure policy: %s (expected block|drop)\n",
+                 policy_name.c_str());
+    return 1;
+  }
+  const auto backend_name = args.get_or("match-backend", "compiled");
+  const auto backend = p4::parse_match_backend(backend_name);
+  if (!backend) {
+    std::fprintf(stderr, "unknown match backend: %s (expected linear|compiled)\n",
+                 backend_name.c_str());
+    return 1;
+  }
+
+  core::TwoStagePipeline pipeline(core::PipelineConfig::with_fields(k));
+  pipeline.fit(*trace);
+  if (!pipeline.trained()) {
+    std::fprintf(stderr, "training produced no usable model\n");
+    return 2;
+  }
+
+  p4::EngineConfig engine_config;
+  engine_config.workers = workers;
+  engine_config.match_backend = *backend;
+  engine_config.ring_capacity = ring_size;
+  engine_config.backpressure = *policy;
+  const auto engine = pipeline.make_engine(engine_config);
+
+  const auto& packets = trace->packets();
+  const std::uint64_t t0 = telemetry::now_ns();
+  if (stream) {
+    engine->start_stream(
+        [](std::uint64_t, const pkt::Packet&, const p4::Verdict&) {});
+    for (std::size_t off = 0; off < packets.size(); off += batch_size) {
+      const auto count = std::min(batch_size, packets.size() - off);
+      engine->stream_push(std::span(packets).subspan(off, count));
+    }
+    engine->stream_flush();
+    const auto ss = engine->stream_stats();
+    engine->stop_stream();
+    std::printf("replay: streamed %zu frames through %zu workers "
+                "(ring %zu, backpressure %s)\n",
+                packets.size(), engine->worker_count(), ring_size,
+                p4::backpressure_policy_name(*policy));
+    std::printf("stream: %llu accepted, %llu delivered, %llu dropped\n",
+                static_cast<unsigned long long>(ss.accepted),
+                static_cast<unsigned long long>(ss.delivered),
+                static_cast<unsigned long long>(ss.dropped));
+  } else {
+    std::vector<p4::Verdict> verdicts;
+    for (std::size_t off = 0; off < packets.size(); off += batch_size) {
+      const auto count = std::min(batch_size, packets.size() - off);
+      engine->process_batch(std::span(packets).subspan(off, count), verdicts);
+    }
+    std::printf("replay: batched %zu frames through %zu workers (batch %zu)\n",
+                packets.size(), engine->worker_count(), batch_size);
+  }
+  const double seconds =
+      static_cast<double>(telemetry::now_ns() - t0) / 1e9;
+  engine->publish_telemetry();
+
+  const auto stats = engine->stats();
+  std::printf("verdicts: %llu permitted, %llu dropped, %llu mirrored, %llu malformed\n",
+              static_cast<unsigned long long>(stats.permitted),
+              static_cast<unsigned long long>(stats.dropped),
+              static_cast<unsigned long long>(stats.mirrored),
+              static_cast<unsigned long long>(stats.malformed));
+  std::printf("match backend: %s; throughput: %.2f Mpps\n",
+              p4::match_backend_name(engine->match_backend()),
+              seconds > 0.0
+                  ? static_cast<double>(stats.packets) / seconds / 1e6
+                  : 0.0);
+  return 0;
+}
+
 /// --metrics-out / --trace-out: serialize the telemetry accumulated during
 /// whatever command just ran.
 int write_telemetry_outputs(const Args& args) {
@@ -396,6 +503,7 @@ int main(int argc, char** argv) {
   else if (command == "inspect") status = cmd_inspect(args);
   else if (command == "convert") status = cmd_convert(args);
   else if (command == "stats") status = cmd_stats(args);
+  else if (command == "replay") status = cmd_replay(args);
   else return usage();
 
   if (status != 0) return status;
